@@ -1,0 +1,59 @@
+// Command snapbench regenerates the reproduction's experiment tables
+// (E1–E10 in DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	snapbench            run every experiment at full scale
+//	snapbench -e 4       run one experiment
+//	snapbench -quick     small sizes (seconds instead of minutes)
+//	snapbench -list      print the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	id := flag.Int("e", 0, "experiment id (1-10); 0 runs all")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id  name                 claim")
+		for _, e := range bench.All() {
+			fmt.Printf("%-3d %-20s %s\n", e.ID, e.Name, e.Claim)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick}
+	var toRun []bench.Experiment
+	if *id == 0 {
+		toRun = bench.All()
+	} else {
+		e, err := bench.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []bench.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tb, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "E%d (%s): %v\n", e.ID, e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# E%d — %s\n", e.ID, e.Claim)
+		fmt.Println(tb.Render())
+		fmt.Printf("(completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,124 @@
+// Command solversvc runs the multi-path incremental SAT solver service of
+// the paper's §3.2 over a line protocol on stdin/stdout. Each solved
+// problem is parked behind an opaque reference backed by a lightweight
+// snapshot; clients branch any reference with additional clauses.
+//
+// Protocol (one command per line):
+//
+//	extend <id> <lit ... 0 [lit ... 0 ...]>   extend problem <id>; prints "id=N verdict=..."
+//	model <id-less>                            n/a — models print with extend
+//	release <id>                               drop a reference
+//	refs                                       print live reference count
+//	quit                                       exit
+//
+// Example session:
+//
+//	extend 0 1 2 0          → id=1 verdict=sat model=...
+//	extend 1 -1 0           → id=2 verdict=sat model=...
+//	extend 2 -2 0           → id=3 verdict=unsat
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+	"repro/internal/solver"
+)
+
+func main() {
+	svc := service.New()
+	defer svc.Close()
+	sc := bufio.NewScanner(os.Stdin)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	fmt.Fprintln(out, "solversvc ready; problem 0 is empty (see -h for protocol)")
+	out.Flush()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "refs":
+			fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
+		case "release":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "err: release <id>")
+				break
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(out, "err: %v\n", err)
+				break
+			}
+			if err := svc.Release(id); err != nil {
+				fmt.Fprintf(out, "err: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "ok")
+			}
+		case "extend":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "err: extend <id> <lit ... 0 ...>")
+				break
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(out, "err: %v\n", err)
+				break
+			}
+			var clauses [][]int
+			var cur []int
+			bad := false
+			for _, f := range fields[2:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					fmt.Fprintf(out, "err: bad literal %q\n", f)
+					bad = true
+					break
+				}
+				if v == 0 {
+					clauses = append(clauses, cur)
+					cur = nil
+					continue
+				}
+				cur = append(cur, v)
+			}
+			if bad {
+				break
+			}
+			if len(cur) > 0 {
+				clauses = append(clauses, cur)
+			}
+			res, err := svc.Extend(id, clauses)
+			if err != nil {
+				fmt.Fprintf(out, "err: %v\n", err)
+				break
+			}
+			fmt.Fprintf(out, "id=%d verdict=%s", res.ID, res.Verdict)
+			if res.Verdict == solver.Sat {
+				fmt.Fprint(out, " model=")
+				for v := 1; v < len(res.Model); v++ {
+					if v > 1 {
+						fmt.Fprint(out, ",")
+					}
+					if res.Model[v] {
+						fmt.Fprintf(out, "%d", v)
+					} else {
+						fmt.Fprintf(out, "-%d", v)
+					}
+				}
+			}
+			fmt.Fprintln(out)
+		default:
+			fmt.Fprintf(out, "err: unknown command %q\n", fields[0])
+		}
+		out.Flush()
+	}
+}

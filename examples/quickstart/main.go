@@ -1,0 +1,78 @@
+// Quickstart: system-level backtracking in ~40 lines.
+//
+// The program searches for every strictly increasing 3-digit code (digits
+// 1..6) whose digits sum to 12. Each call to env.Guess(6) looks like the
+// operating system magically guessing the right digit; conflicting paths
+// just call env.Fail() — no undo logic anywhere.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Heap layout: [0]=count of digits placed, [8..]=digits, [32]=started.
+func step(env *repro.Env) error {
+	m := env.Mem()
+	const base = repro.HostedHeapBase
+	started, _ := m.ReadU64(base + 32)
+	if started == 0 { // the root step: main() up to the first guess
+		m.WriteU64(base+32, 1)
+		env.Guess(6)
+		return nil
+	}
+	n, _ := m.ReadU64(base)
+	digit := env.Choice() + 1 // 1..6
+	if n > 0 {
+		prev, _ := m.ReadU64(base + 8 + (n-1)*8)
+		if digit <= prev { // not strictly increasing: backtrack
+			env.Fail()
+			return nil
+		}
+	}
+	m.WriteU64(base+8+n*8, digit)
+	n++
+	m.WriteU64(base, n)
+	if n < 3 {
+		env.Guess(6)
+		return nil
+	}
+	var sum uint64
+	for i := uint64(0); i < 3; i++ {
+		d, _ := m.ReadU64(base + 8 + i*8)
+		sum += d
+	}
+	if sum != 12 {
+		env.Fail()
+		return nil
+	}
+	a, _ := m.ReadU64(base + 8)
+	b, _ := m.ReadU64(base + 16)
+	c, _ := m.ReadU64(base + 24)
+	env.Printf("%d-%d-%d\n", a, b, c)
+	env.Fail() // enumerate all answers, Prolog-style
+	return nil
+}
+
+func main() {
+	alloc := repro.NewFrameAllocator(0)
+	ctx, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
+	res, err := eng.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("codes with increasing digits summing to 12:\n")
+	for _, s := range res.Solutions {
+		fmt.Print(string(s.Out))
+	}
+	fmt.Printf("(%d solutions, %d extension steps, %d snapshots)\n",
+		len(res.Solutions), res.Stats.Nodes, res.Stats.Snapshots)
+}

@@ -1,0 +1,134 @@
+// Sudoku with system-level backtracking: a hosted guest stores the grid in
+// its simulated address space; each extension step fills the next empty
+// cell with the guessed digit, failing on rule violations. The engine's
+// snapshot tree is the entire backtracking machinery.
+//
+//	go run ./examples/sudoku
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// A medium 9x9 puzzle (0 = empty).
+var puzzle = [81]uint64{
+	5, 3, 0, 0, 7, 0, 0, 0, 0,
+	6, 0, 0, 1, 9, 5, 0, 0, 0,
+	0, 9, 8, 0, 0, 0, 0, 6, 0,
+	8, 0, 0, 0, 6, 0, 0, 0, 3,
+	4, 0, 0, 8, 0, 3, 0, 0, 1,
+	7, 0, 0, 0, 2, 0, 0, 0, 6,
+	0, 6, 0, 0, 0, 0, 2, 8, 0,
+	0, 0, 0, 4, 1, 9, 0, 0, 5,
+	0, 0, 0, 0, 8, 0, 0, 7, 9,
+}
+
+// Heap layout: [0]=cursor (cells scanned), [8..8+81*8)=grid, [728]=started.
+const (
+	offCursor  = 0
+	offGrid    = 8
+	offStarted = 8 + 81*8
+)
+
+func legal(grid *[81]uint64, cell int, d uint64) bool {
+	r, c := cell/9, cell%9
+	for i := 0; i < 9; i++ {
+		if grid[r*9+i] == d || grid[i*9+c] == d {
+			return false
+		}
+	}
+	br, bc := r/3*3, c/3*3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if grid[(br+i)*9+bc+j] == d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func loadGrid(env *repro.Env) *[81]uint64 {
+	var g [81]uint64
+	for i := range g {
+		g[i], _ = env.Mem().ReadU64(repro.HostedHeapBase + offGrid + uint64(i)*8)
+	}
+	return &g
+}
+
+// advance moves the cursor to the next empty cell; returns 81 when solved.
+func advance(grid *[81]uint64, from uint64) uint64 {
+	for int(from) < 81 && grid[from] != 0 {
+		from++
+	}
+	return from
+}
+
+func step(env *repro.Env) error {
+	m := env.Mem()
+	const base = repro.HostedHeapBase
+	started, _ := m.ReadU64(base + offStarted)
+	if started == 0 {
+		m.WriteU64(base+offStarted, 1)
+		for i, d := range puzzle {
+			m.WriteU64(base+offGrid+uint64(i)*8, d)
+		}
+		grid := &puzzle
+		cur := advance(grid, 0)
+		m.WriteU64(base+offCursor, cur)
+		if cur == 81 {
+			env.Exit(0)
+			return nil
+		}
+		env.Guess(9)
+		return nil
+	}
+	grid := loadGrid(env)
+	cur, _ := m.ReadU64(base + offCursor)
+	d := env.Choice() + 1
+	if !legal(grid, int(cur), d) {
+		env.Fail()
+		return nil
+	}
+	grid[cur] = d
+	m.WriteU64(base+offGrid+cur*8, d)
+	next := advance(grid, cur+1)
+	m.WriteU64(base+offCursor, next)
+	if next == 81 {
+		for r := 0; r < 9; r++ {
+			for c := 0; c < 9; c++ {
+				env.Printf("%d", grid[r*9+c])
+				if c != 8 {
+					env.Printf(" ")
+				}
+			}
+			env.Printf("\n")
+		}
+		env.Exit(0)
+		return nil
+	}
+	env.Guess(9)
+	return nil
+}
+
+func main() {
+	alloc := repro.NewFrameAllocator(0)
+	ctx, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{MaxSolutions: 1})
+	res, err := eng.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Solutions) == 0 {
+		log.Fatal("no solution found")
+	}
+	fmt.Print(string(res.Solutions[0].Out))
+	fmt.Printf("(%d extension steps, %d snapshots, max depth %d)\n",
+		res.Stats.Nodes, res.Stats.Snapshots, res.Stats.MaxDepth)
+}

@@ -1,0 +1,23 @@
+// Package core implements system-level backtracking (§3 of the paper): the
+// engine that gives guest programs the illusion that the operating system
+// guessed the path to a solution.
+//
+// The pieces map one-to-one onto the paper's concepts:
+//
+//   - Partial candidates are snapshot.State values — lightweight immutable
+//     execution snapshots organized in a refcounted tree.
+//   - Candidate extension steps are (parent, choice) pairs scheduled by a
+//     search.Strategy; evaluating one restores the parent and runs guest
+//     code until the next sys_guess, a sys_guess_fail, or exit.
+//   - The Machine interface abstracts *how* guest code runs: VMMachine
+//     interprets arbitrary SVX64 machine code (the paper's "arbitrary x86
+//     code" path, registers included), while HostedMachine runs Go step
+//     functions whose cross-step state lives in the simulated address
+//     space (the S2E "run until the next symbolic branch" shape).
+//   - System calls issued by extensions are interposed so all visible side
+//     effects — memory, files, output — stay contained in the candidate.
+//
+// The engine evaluates extensions on a pool of workers (the simulated CPU
+// cores of the paper's Figure 2); snapshots are immutable, so parallel
+// evaluation needs no further synchronization.
+package core

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/interpose"
+	"repro/internal/search"
+	"repro/internal/snapshot"
+)
+
+// Ext is one schedulable candidate extension step: a retained reference to
+// the parent partial candidate plus the extension number.
+type Ext = search.Item[*snapshot.State]
+
+// Strategy is the search-policy type the engine schedules with.
+type Strategy = search.Strategy[*snapshot.State]
+
+// Config tunes an Engine. The zero value means: DFS, one worker, explore
+// everything, honor guest strategy selection.
+type Config struct {
+	// Strategy schedules extension evaluation; nil means DFS.
+	Strategy Strategy
+	// Workers is the number of simulated CPU cores (Fig. 2); <=0 means 1.
+	Workers int
+	// MaxSolutions stops the search after this many recorded solutions
+	// (exit or emitted); 0 means unlimited.
+	MaxSolutions int
+	// MaxNodes bounds evaluated extensions (safety net; 0 = unlimited).
+	MaxNodes int64
+	// MaxFanout bounds a single guess arity (0 means 4096).
+	MaxFanout uint64
+	// KeepExitSnapshots captures a final snapshot for every exiting path
+	// and hands it to the caller via Solution.Final (used by the
+	// incremental-solver service). The caller releases them via
+	// Result.Release.
+	KeepExitSnapshots bool
+	// IgnoreGuestStrategy refuses sys_guess_strategy requests (ack 0).
+	IgnoreGuestStrategy bool
+	// SMACapacity is the queue bound handed to SM-A* when a guest selects
+	// it (0 means 65536).
+	SMACapacity int
+	// RandomSeed seeds the Random strategy when a guest selects it.
+	RandomSeed uint64
+	// NoRunThrough disables the DFS run-through optimization, in which the
+	// worker that hits a guess keeps executing extension 0 in its live
+	// context (no snapshot restore) and only the siblings are queued —
+	// the same trick S2E plays when it continues the current state after
+	// a fork. Under DFS the exploration order is identical; the savings
+	// are one restore plus the first-write path copies per interior node.
+	NoRunThrough bool
+}
+
+// SolutionKind distinguishes how a solution surfaced.
+type SolutionKind uint8
+
+// Solution kinds.
+const (
+	// SolutionExit: the path terminated via exit/halt.
+	SolutionExit SolutionKind = iota
+	// SolutionEmitted: the path printed output and then failed — the
+	// Prolog print-then-fail enumeration idiom of Fig. 1.
+	SolutionEmitted
+)
+
+func (k SolutionKind) String() string {
+	if k == SolutionEmitted {
+		return "emitted"
+	}
+	return "exit"
+}
+
+// Solution is one surfaced answer.
+type Solution struct {
+	Kind   SolutionKind
+	Out    []byte          // exit: the path's full output; emitted: the new output
+	Status uint64          // exit status
+	Depth  int             // guesses along the path
+	Final  *snapshot.State // retained final snapshot when KeepExitSnapshots
+}
+
+// Stats aggregates engine-level counters for one run.
+type Stats struct {
+	Nodes      int64 // extension steps evaluated
+	Guesses    int64
+	Fails      int64
+	Exits      int64
+	Errors     int64 // crashed paths
+	Emitted    int64
+	Snapshots  int64 // partial candidates captured
+	MaxDepth   int64
+	CowCopies  int64
+	ZeroFills  int64
+	NodeClones int64
+}
+
+// Result reports a completed search.
+type Result struct {
+	Solutions []Solution
+	Stats     Stats
+	Strategy  string
+	// FirstPathError samples the first guest crash (diagnostics).
+	FirstPathError error
+}
+
+// Release drops the references held by KeepExitSnapshots solutions.
+func (r *Result) Release() {
+	for i := range r.Solutions {
+		if r.Solutions[i].Final != nil {
+			r.Solutions[i].Final.Release()
+			r.Solutions[i].Final = nil
+		}
+	}
+}
+
+// Engine evaluates candidate extension steps against a Machine under a
+// search strategy — the libOS scheduler of the paper's Figure 2.
+type Engine struct {
+	machine Machine
+	cfg     Config
+	tree    *snapshot.Tree
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	strategy Strategy
+	busy     int
+	stopped  bool
+	halted   atomic.Bool // mirrors stopped for lock-free reads
+
+	runThrough bool // continue extension 0 in-place (DFS only)
+
+	solutions []Solution
+	pathErr   error
+	fatal     error
+
+	nodes      atomic.Int64
+	guesses    atomic.Int64
+	fails      atomic.Int64
+	exits      atomic.Int64
+	errors     atomic.Int64
+	emitted    atomic.Int64
+	maxDepth   atomic.Int64
+	cowCopies  atomic.Int64
+	zeroFills  atomic.Int64
+	nodeClones atomic.Int64
+}
+
+// New returns an engine running guests on m.
+func New(m Machine, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxFanout == 0 {
+		cfg.MaxFanout = 4096
+	}
+	if cfg.SMACapacity == 0 {
+		cfg.SMACapacity = 65536
+	}
+	st := cfg.Strategy
+	if st == nil {
+		st = search.NewDFS[*snapshot.State]()
+	}
+	e := &Engine{machine: m, cfg: cfg, tree: snapshot.NewTree(), strategy: st}
+	e.runThrough = st.Name() == "dfs" && !cfg.NoRunThrough
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Tree exposes the snapshot tree (statistics, service layers).
+func (e *Engine) Tree() *snapshot.Tree { return e.tree }
+
+// Run takes ownership of root and explores the guest's search space to
+// exhaustion (or until a configured limit). It returns the recorded
+// solutions and statistics. A non-nil error reports an infrastructure
+// failure; guest crashes are counted in Stats.Errors and sampled in
+// Result.FirstPathError.
+func (e *Engine) Run(root *snapshot.Context) (*Result, error) {
+	// Evaluate the root step synchronously: it may select the strategy.
+	e.evaluate(nil, root, 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fatal != nil {
+		return nil, e.fatal
+	}
+	res := &Result{
+		Solutions:      e.solutions,
+		Strategy:       e.strategy.Name(),
+		FirstPathError: e.pathErr,
+		Stats: Stats{
+			Nodes:      e.nodes.Load(),
+			Guesses:    e.guesses.Load(),
+			Fails:      e.fails.Load(),
+			Exits:      e.exits.Load(),
+			Errors:     e.errors.Load(),
+			Emitted:    e.emitted.Load(),
+			Snapshots:  e.tree.Created(),
+			MaxDepth:   e.maxDepth.Load(),
+			CowCopies:  e.cowCopies.Load(),
+			ZeroFills:  e.zeroFills.Load(),
+			NodeClones: e.nodeClones.Load(),
+		},
+	}
+	return res, nil
+}
+
+func (e *Engine) worker() {
+	for {
+		e.mu.Lock()
+		for !e.stopped && e.strategy.Len() == 0 && e.busy > 0 {
+			e.cond.Wait()
+		}
+		if e.stopped || e.strategy.Len() == 0 {
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		item, _ := e.strategy.Pop()
+		e.busy++
+		e.mu.Unlock()
+
+		n := e.nodes.Add(1)
+		if e.cfg.MaxNodes > 0 && n > e.cfg.MaxNodes {
+			e.stop(nil)
+		} else {
+			ctx := item.Payload.Restore()
+			e.evaluate(item.Payload, ctx, item.Choice)
+		}
+		item.Payload.Release()
+
+		e.mu.Lock()
+		e.busy--
+		if e.busy == 0 && e.strategy.Len() == 0 {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// stop halts the search, draining queued extensions and releasing their
+// candidate references. err, when non-nil, is fatal for the whole run.
+func (e *Engine) stop(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil && e.fatal == nil {
+		e.fatal = err
+	}
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	e.halted.Store(true)
+	e.strategy.Drain(func(it Ext) { it.Payload.Release() })
+	e.cond.Broadcast()
+}
+
+// evaluate runs extension steps starting from ctx until the path dies or a
+// guess hands all children to the strategy. Under DFS run-through, a guess
+// instead queues only the siblings and the loop continues extension 0 in
+// the live context, avoiding a restore and the first-write path copies for
+// the spine of the search tree. evaluate consumes ctx.
+func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval uint64) {
+	var held *snapshot.State // capture ref for the snapshot we ran through
+	defer func() {
+		if held != nil {
+			held.Release()
+		}
+		st := ctx.Mem.Stats()
+		e.cowCopies.Add(st.CowCopies)
+		e.zeroFills.Add(st.ZeroFills)
+		e.nodeClones.Add(st.NodeClones)
+		ctx.Release()
+	}()
+
+	for {
+		ev, err := e.machine.Resume(ctx, retval)
+		if err != nil {
+			e.stop(err)
+			return
+		}
+		for ev.Kind == EventStrategy {
+			ack := uint64(0)
+			if parent == nil && held == nil && !e.cfg.IgnoreGuestStrategy {
+				if st := e.strategyByID(ev.N); st != nil {
+					e.mu.Lock()
+					e.strategy = st
+					e.runThrough = st.Name() == "dfs" && !e.cfg.NoRunThrough
+					e.mu.Unlock()
+					ack = 1
+				}
+			}
+			ev, err = e.machine.Resume(ctx, ack)
+			if err != nil {
+				e.stop(err)
+				return
+			}
+		}
+
+		depth := 0
+		if parent != nil {
+			depth = parent.Depth() + 1
+		}
+		for {
+			old := e.maxDepth.Load()
+			if int64(depth) <= old || e.maxDepth.CompareAndSwap(old, int64(depth)) {
+				break
+			}
+		}
+
+		switch ev.Kind {
+		case EventGuess:
+			if ev.N == 0 { // sys_guess(0) ≡ sys_guess_fail
+				e.fails.Add(1)
+				e.recordEmission(parent, ctx)
+				return
+			}
+			if ev.N > e.cfg.MaxFanout {
+				e.errors.Add(1)
+				e.samplePathErr(fmt.Errorf("core: guess(%d) exceeds fanout bound %d", ev.N, e.cfg.MaxFanout))
+				return
+			}
+			e.guesses.Add(1)
+			snap := e.tree.Capture(ctx, parent)
+			runThrough := e.runThrough && !e.halted.Load()
+			first := uint64(0)
+			if runThrough {
+				first = 1 // extension 0 continues in this worker
+			}
+			items := make([]Ext, 0, ev.N-first)
+			for c := first; c < ev.N; c++ {
+				snap.Retain()
+				items = append(items, Ext{
+					Payload:  snap,
+					Choice:   c,
+					Depth:    snap.Depth(),
+					Priority: int64(snap.Depth()) + ev.Hint,
+				})
+			}
+			e.mu.Lock()
+			if e.stopped {
+				e.mu.Unlock()
+				for range items {
+					snap.Release()
+				}
+			} else if len(items) > 0 {
+				e.strategy.PushAll(items)
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			} else {
+				e.mu.Unlock()
+			}
+			if !runThrough {
+				snap.Release() // the capture reference
+				return
+			}
+			// Continue as extension 0 of the new candidate. The new
+			// snapshot's parent link keeps earlier spine snapshots alive,
+			// so our previous capture ref can go.
+			if held != nil {
+				held.Release()
+			}
+			held = snap
+			parent = snap
+			retval = 0
+			n := e.nodes.Add(1)
+			if e.cfg.MaxNodes > 0 && n > e.cfg.MaxNodes {
+				e.stop(nil)
+				return
+			}
+
+		case EventExit:
+			e.exits.Add(1)
+			sol := Solution{
+				Kind:   SolutionExit,
+				Out:    append([]byte(nil), ctx.Out...),
+				Status: ev.Status,
+				Depth:  depth,
+			}
+			if e.cfg.KeepExitSnapshots {
+				sol.Final = e.tree.Capture(ctx, parent)
+			}
+			e.recordSolution(sol)
+			return
+
+		case EventFail:
+			e.fails.Add(1)
+			e.recordEmission(parent, ctx)
+			return
+
+		case EventError:
+			e.errors.Add(1)
+			e.samplePathErr(ev.Err)
+			return
+
+		default:
+			e.stop(fmt.Errorf("core: machine returned unexpected event %v", ev))
+			return
+		}
+	}
+}
+
+// recordEmission surfaces output printed by a failing path (Fig. 1's
+// print-then-fail idiom): the delta beyond the parent's frozen output.
+func (e *Engine) recordEmission(parent *snapshot.State, ctx *snapshot.Context) {
+	base := 0
+	if parent != nil {
+		base = len(parent.Out())
+	}
+	if len(ctx.Out) <= base {
+		return
+	}
+	depth := 0
+	if parent != nil {
+		depth = parent.Depth() + 1
+	}
+	e.emitted.Add(1)
+	e.recordSolution(Solution{
+		Kind:  SolutionEmitted,
+		Out:   append([]byte(nil), ctx.Out[base:]...),
+		Depth: depth,
+	})
+}
+
+func (e *Engine) recordSolution(sol Solution) {
+	e.mu.Lock()
+	e.solutions = append(e.solutions, sol)
+	hitLimit := e.cfg.MaxSolutions > 0 && len(e.solutions) >= e.cfg.MaxSolutions
+	e.mu.Unlock()
+	if hitLimit {
+		e.stop(nil)
+	}
+}
+
+func (e *Engine) samplePathErr(err error) {
+	e.mu.Lock()
+	if e.pathErr == nil {
+		e.pathErr = err
+	}
+	e.mu.Unlock()
+}
+
+// strategyByID maps a guest sys_guess_strategy id to a fresh strategy.
+func (e *Engine) strategyByID(id uint64) Strategy {
+	switch id {
+	case interpose.StrategyDFS:
+		return search.NewDFS[*snapshot.State]()
+	case interpose.StrategyBFS:
+		return search.NewBFS[*snapshot.State]()
+	case interpose.StrategyAStar:
+		return search.NewAStar[*snapshot.State]()
+	case interpose.StrategySMAStar:
+		return search.NewSMAStar[*snapshot.State](e.cfg.SMACapacity,
+			func(it Ext) { it.Payload.Release() })
+	case interpose.StrategyRandom:
+		return search.NewRandom[*snapshot.State](e.cfg.RandomSeed)
+	default:
+		return nil
+	}
+}

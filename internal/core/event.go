@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// EventKind classifies how a candidate extension step suspended.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventGuess: the guest called sys_guess(n); a new partial candidate
+	// must be captured and n extensions scheduled.
+	EventGuess EventKind = iota
+	// EventFail: the guest called sys_guess_fail(); the path is dead.
+	EventFail
+	// EventExit: the guest terminated normally (exit or halt).
+	EventExit
+	// EventStrategy: the guest called sys_guess_strategy(id); only honored
+	// before the first guess.
+	EventStrategy
+	// EventError: the guest crashed (fault, invalid opcode, fuel
+	// exhaustion, policy violation). The path is dead; Err explains.
+	EventError
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventGuess:
+		return "guess"
+	case EventFail:
+		return "fail"
+	case EventExit:
+		return "exit"
+	case EventStrategy:
+		return "strategy"
+	case EventError:
+		return "error"
+	}
+	return "event?"
+}
+
+// Event is the backtracking-relevant outcome of resuming a guest.
+type Event struct {
+	Kind   EventKind
+	N      uint64 // guess arity, or strategy id for EventStrategy
+	Hint   int64  // goal-distance hint attached via sys_guess_hint
+	Status uint64 // exit status for EventExit
+	Err    error  // failure detail for EventError
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventGuess:
+		return fmt.Sprintf("guess(%d) hint=%d", e.N, e.Hint)
+	case EventExit:
+		return fmt.Sprintf("exit(%d)", e.Status)
+	case EventError:
+		return fmt.Sprintf("error: %v", e.Err)
+	default:
+		return e.Kind.String()
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// benchParallelTree measures engine scaling on a binary tree whose steps
+// spin the CPU without touching simulated memory: isolates scheduler
+// overhead from memory-substrate effects.
+func benchParallelTree(b *testing.B, workers, spin int) {
+	b.Helper()
+	step := func(env *core.Env) error {
+		m := env.Mem()
+		base := core.HostedHeapBase
+		d, _ := m.ReadU64(base)
+		started, _ := m.ReadU64(base + 8)
+		if started == 0 {
+			m.WriteU64(base+8, 1)
+			env.Guess(2)
+			return nil
+		}
+		x := uint64(1)
+		for i := 0; i < spin; i++ {
+			x = x*6364136223846793005 + 1
+		}
+		if x == 42 { // defeat dead-code elimination
+			env.Printf("!")
+		}
+		d++
+		m.WriteU64(base, d)
+		if d < 9 {
+			env.Guess(2)
+		} else {
+			env.Fail()
+		}
+		return nil
+	}
+	for i := 0; i < b.N; i++ {
+		alloc := mem.NewFrameAllocator(0)
+		ctx, err := core.NewHostedContext(alloc, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.New(core.NewHostedMachine(step), core.Config{Workers: workers})
+		if _, err := eng.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelSpinW1(b *testing.B) { benchParallelTree(b, 1, 50_000) }
+func BenchmarkParallelSpinW2(b *testing.B) { benchParallelTree(b, 2, 50_000) }

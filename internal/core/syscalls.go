@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/fs"
+	"repro/internal/interpose"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// maxIOBytes bounds a single guest read/write, like a kernel's per-call
+// transfer cap; it keeps a buggy guest from asking the host for gigabytes.
+const maxIOBytes = 1 << 20
+
+// maxPathLen bounds guest-supplied path strings.
+const maxPathLen = 4096
+
+// handleSyscall implements the interposed POSIX subset over the candidate's
+// contained state (§5 "system call interposition"). Everything it touches —
+// guest memory, the file image, the output buffer, the program break — is
+// part of the snapshot, so backtracking reverts it structurally; no undo
+// log is needed on this path.
+func handleSyscall(ctx *snapshot.Context, cpu *vm.CPU, nr uint64) uint64 {
+	regs := &cpu.Regs
+	a0 := regs.Get(vm.SysArg0Reg)
+	a1 := regs.Get(vm.SysArg1Reg)
+	a2 := regs.Get(vm.SysArg2Reg)
+
+	switch nr {
+	case interpose.SysWrite:
+		fd := int(int64(a0))
+		n := int(a2)
+		if n < 0 || n > maxIOBytes {
+			return interpose.ErrnoRet(interpose.EINVAL)
+		}
+		buf := make([]byte, n)
+		if err := ctx.Mem.ReadAt(buf, a1); err != nil {
+			return interpose.ErrnoRet(interpose.EFAULT)
+		}
+		switch fd {
+		case 1, 2: // contained stdout/stderr
+			ctx.Out = append(ctx.Out, buf...)
+			return uint64(n)
+		default:
+			wn, err := ctx.FS.Write(fd, buf)
+			if err != nil {
+				return fsErrno(err)
+			}
+			return uint64(wn)
+		}
+
+	case interpose.SysRead:
+		fd := int(int64(a0))
+		n := int(a2)
+		if n < 0 || n > maxIOBytes {
+			return interpose.ErrnoRet(interpose.EINVAL)
+		}
+		if fd == 0 {
+			return 0 // stdin is empty in the sandbox
+		}
+		buf := make([]byte, n)
+		rn, err := ctx.FS.Read(fd, buf)
+		if errors.Is(err, io.EOF) {
+			return 0
+		}
+		if err != nil {
+			return fsErrno(err)
+		}
+		if err := ctx.Mem.WriteAt(buf[:rn], a1); err != nil {
+			return interpose.ErrnoRet(interpose.EFAULT)
+		}
+		return uint64(rn)
+
+	case interpose.SysOpen:
+		path, err := ctx.Mem.ReadCString(a0, maxPathLen)
+		if err != nil {
+			return interpose.ErrnoRet(interpose.EFAULT)
+		}
+		if !interpose.PathAllowed(path) {
+			return interpose.ErrnoRet(interpose.ENOTSUP)
+		}
+		fd, ferr := ctx.FS.Open(path, int(a1))
+		if ferr != nil {
+			return fsErrno(ferr)
+		}
+		return uint64(fd)
+
+	case interpose.SysClose:
+		fd := int(int64(a0))
+		if fd >= 0 && fd <= 2 {
+			return 0 // closing stdio is a no-op
+		}
+		if err := ctx.FS.Close(fd); err != nil {
+			return fsErrno(err)
+		}
+		return 0
+
+	case interpose.SysSeek:
+		off, err := ctx.FS.Seek(int(int64(a0)), int64(a1), int(a2))
+		if err != nil {
+			return fsErrno(err)
+		}
+		return uint64(off)
+
+	case interpose.SysBrk:
+		// The VMA list and break are part of the snapshot, so brk needs no
+		// undo log: backtracking reverts it structurally.
+		nb, err := ctx.Mem.Brk(a0)
+		if err != nil {
+			cur, _ := ctx.Mem.Brk(0)
+			return cur // Linux brk reports the unchanged break on failure
+		}
+		return nb
+
+	case interpose.SysGetTick:
+		return cpu.Retired
+
+	default:
+		return interpose.ErrnoRet(interpose.ENOSYS)
+	}
+}
+
+func fsErrno(err error) uint64 {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return interpose.ErrnoRet(interpose.ENOENT)
+	case errors.Is(err, fs.ErrBadFD):
+		return interpose.ErrnoRet(interpose.EBADF)
+	case errors.Is(err, fs.ErrPerm):
+		return interpose.ErrnoRet(interpose.EACCES)
+	default:
+		return interpose.ErrnoRet(interpose.EINVAL)
+	}
+}

@@ -1,0 +1,304 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+)
+
+// runNative assembles src, runs it to completion under the engine, and
+// returns the result plus the root context's released FS is inaccessible —
+// so guests must surface evidence via output or exit status.
+func runNative(t *testing.T, src string, cfg core.Config) (*core.Result, *core.VMMachine) {
+	t.Helper()
+	img, err := guest.AssembleImage(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	as, regs, err := guest.Load(img, mem.NewFrameAllocator(0), guest.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewVMMachine(0)
+	eng := core.New(m, cfg)
+	res, err := eng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, m
+}
+
+func TestGuestFileIO(t *testing.T) {
+	res, m := runNative(t, `
+.data
+path: .asciz "/out.txt"
+msg:  .asciz "hello-fs"
+buf:  .space 16
+.text
+_start:
+    mov rax, 2          ; open(path, O_CREAT|O_RDWR)
+    mov rdi, =path
+    mov rsi, 0x42
+    syscall
+    mov r12, rax        ; fd
+    mov rax, 1          ; write(fd, msg, 8)
+    mov rdi, r12
+    mov rsi, =msg
+    mov rdx, 8
+    syscall
+    mov rax, 8          ; lseek(fd, 0, SET)
+    mov rdi, r12
+    mov rsi, 0
+    mov rdx, 0
+    syscall
+    mov rax, 0          ; read(fd, buf, 16)
+    mov rdi, r12
+    mov rsi, =buf
+    mov rdx, 16
+    syscall
+    mov r13, rax        ; bytes read
+    mov rax, 3          ; close(fd)
+    mov rdi, r12
+    syscall
+    mov rax, 1          ; write(1, buf, r13) -- echo to stdout
+    mov rdi, 1
+    mov rsi, =buf
+    mov rdx, r13
+    syscall
+    mov rax, 60
+    mov rdi, 0
+    syscall
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d (err %v)", len(res.Solutions), res.FirstPathError)
+	}
+	if got := string(res.Solutions[0].Out); got != "hello-fs" {
+		t.Errorf("echoed = %q, want hello-fs", got)
+	}
+	if m.Syscalls.Load() != 6 {
+		t.Errorf("interposed syscalls = %d, want 6", m.Syscalls.Load())
+	}
+}
+
+func TestGuestPolicyDenial(t *testing.T) {
+	res, m := runNative(t, `
+.data
+path: .asciz "/dev/mem"
+.text
+_start:
+    mov rax, 2
+    mov rdi, =path
+    mov rsi, 0x42
+    syscall             ; must fail ENOTSUP (-95)
+    mov rdi, rax
+    mov rax, 60
+    syscall             ; exit(open result)
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if got := int64(res.Solutions[0].Status); got != -95 {
+		t.Errorf("open(/dev/mem) = %d, want -95 (ENOTSUP)", got)
+	}
+	if m.Denied.Load() != 1 {
+		t.Errorf("denied = %d, want 1", m.Denied.Load())
+	}
+}
+
+func TestGuestBrk(t *testing.T) {
+	res, _ := runNative(t, `
+_start:
+    mov rax, 12         ; brk(0) -> current
+    mov rdi, 0
+    syscall
+    mov r12, rax
+    mov rax, 12         ; brk(cur + 64KiB)
+    mov rdi, r12
+    add rdi, 65536
+    syscall
+    mov rbx, rax        ; new break
+    storeb rbx, [rbx-1] ; touch the newly granted page
+    loadb rcx, [rbx-1]
+    mov rax, 60
+    mov rdi, 0
+    syscall
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d, firstErr=%v", len(res.Solutions), res.FirstPathError)
+	}
+}
+
+// TestBrkContainedByBacktracking verifies the §5 claim resolution: brk is
+// address-space state, so backtracking reverts it with no undo log. The
+// guest grows the heap in extension 0 and then fails; extension 1 checks
+// the break is back to the parent's value.
+func TestBrkContainedByBacktracking(t *testing.T) {
+	res, _ := runNative(t, `
+_start:
+    mov rax, 12         ; r12 = initial brk
+    mov rdi, 0
+    syscall
+    mov r12, rax
+    mov rax, 500        ; guess(2)
+    mov rdi, 2
+    syscall
+    cmp rax, 0
+    jne check
+    mov rax, 12         ; extension 0: grow brk by 1MiB, then fail
+    mov rdi, r12
+    add rdi, 1048576
+    syscall
+    mov rax, 501
+    syscall
+check:                  ; extension 1: brk must equal the snapshot value
+    mov rax, 12
+    mov rdi, 0
+    syscall
+    cmp rax, r12
+    je ok
+    mov rax, 60
+    mov rdi, 1          ; exit(1) = leaked brk
+    syscall
+ok:
+    mov rax, 60
+    mov rdi, 0
+    syscall
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if res.Solutions[0].Status != 0 {
+		t.Error("brk change leaked across backtracking")
+	}
+}
+
+// TestFileWritesContained: a file written in a failing extension must not
+// be visible in a sibling extension (the isolation property of §3.1).
+func TestFileWritesContained(t *testing.T) {
+	res, _ := runNative(t, `
+.data
+path: .asciz "/x"
+.text
+_start:
+    mov rax, 500        ; guess(2)
+    mov rdi, 2
+    syscall
+    cmp rax, 0
+    jne sibling
+    mov rax, 2          ; extension 0: create /x then fail
+    mov rdi, =path
+    mov rsi, 0x42
+    syscall
+    mov rax, 501
+    syscall
+sibling:                ; extension 1: open /x without O_CREAT must ENOENT
+    mov rax, 2
+    mov rdi, =path
+    mov rsi, 2
+    syscall
+    mov rdi, rax
+    mov rax, 60
+    syscall
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if got := int64(res.Solutions[0].Status); got != -2 {
+		t.Errorf("sibling open = %d, want -2 (ENOENT): file leaked across candidates", got)
+	}
+}
+
+func TestGuestCrashIsPathError(t *testing.T) {
+	res, _ := runNative(t, `
+_start:
+    mov rax, 500
+    mov rdi, 2
+    syscall
+    cmp rax, 0
+    jne crash
+    mov rax, 60         ; extension 0 exits cleanly
+    mov rdi, 7
+    syscall
+crash:
+    mov rbx, 0x10       ; extension 1 dereferences unmapped memory
+    load rax, [rbx]
+    hlt
+`, core.Config{})
+	if res.Stats.Errors != 1 {
+		t.Errorf("errors = %d, want 1", res.Stats.Errors)
+	}
+	if res.FirstPathError == nil || !strings.Contains(res.FirstPathError.Error(), "fault") {
+		t.Errorf("FirstPathError = %v", res.FirstPathError)
+	}
+	// The healthy sibling still completed.
+	if len(res.Solutions) != 1 || res.Solutions[0].Status != 7 {
+		t.Errorf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestVMFuelBudget(t *testing.T) {
+	img, err := guest.AssembleImage(`
+_start:
+spin:
+    jmp spin
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, regs, err := guest.Load(img, mem.NewFrameAllocator(0), guest.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(core.NewVMMachine(10_000), core.Config{})
+	res, err := eng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (fuel exhaustion)", res.Stats.Errors)
+	}
+	if res.FirstPathError == nil || !strings.Contains(res.FirstPathError.Error(), "fuel") {
+		t.Errorf("FirstPathError = %v", res.FirstPathError)
+	}
+}
+
+func TestUnknownSyscallENOSYS(t *testing.T) {
+	res, _ := runNative(t, `
+_start:
+    mov rax, 9999
+    syscall
+    mov rdi, rax
+    mov rax, 60
+    syscall
+`, core.Config{})
+	if got := int64(res.Solutions[0].Status); got != -38 {
+		t.Errorf("unknown syscall = %d, want -38 (ENOSYS)", got)
+	}
+}
+
+func TestGetTickDeterministic(t *testing.T) {
+	src := `
+_start:
+    nop
+    nop
+    mov rax, 96
+    syscall
+    mov rdi, rax
+    mov rax, 60
+    syscall
+`
+	r1, _ := runNative(t, src, core.Config{})
+	r2, _ := runNative(t, src, core.Config{})
+	if r1.Solutions[0].Status != r2.Solutions[0].Status {
+		t.Errorf("gettick nondeterministic: %d vs %d",
+			r1.Solutions[0].Status, r2.Solutions[0].Status)
+	}
+	if r1.Solutions[0].Status == 0 {
+		t.Error("gettick returned 0 after retiring instructions")
+	}
+}

@@ -1,0 +1,469 @@
+// Package fs implements the simulated file layer that lightweight snapshots
+// capture: regular files stored as refcounted copy-on-write blocks, plus a
+// per-candidate file-descriptor table. A snapshot takes a logical copy of
+// the whole filesystem and of every open descriptor; extension steps that
+// write files version them privately, so file side effects stay contained
+// within a partial candidate exactly as the paper's interposition layer
+// requires.
+package fs
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"sync/atomic"
+)
+
+// BlockSize is the CoW granularity for file content.
+const BlockSize = 4096
+
+type block struct {
+	ref  atomic.Int32
+	data [BlockSize]byte
+}
+
+func newBlock() *block {
+	b := &block{}
+	b.ref.Store(1)
+	return b
+}
+
+// File is a regular file. Files referenced by more than one filesystem view
+// (or snapshot) are frozen; mutating views clone them first.
+type File struct {
+	ref    atomic.Int32
+	blocks []*block
+	size   int64
+}
+
+func newFile() *File {
+	f := &File{}
+	f.ref.Store(1)
+	return f
+}
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+func (f *File) retain() { f.ref.Add(1) }
+
+func (f *File) release() {
+	if f.ref.Add(-1) != 0 {
+		return
+	}
+	for _, b := range f.blocks {
+		if b != nil {
+			b.ref.Add(-1)
+		}
+	}
+	f.blocks = nil
+}
+
+// clone returns a private copy sharing all blocks CoW.
+func (f *File) clone() *File {
+	c := newFile()
+	c.size = f.size
+	c.blocks = make([]*block, len(f.blocks))
+	copy(c.blocks, f.blocks)
+	for _, b := range c.blocks {
+		if b != nil {
+			b.ref.Add(1)
+		}
+	}
+	return c
+}
+
+// readAt copies up to len(p) bytes from offset off. Holes read as zeroes.
+func (f *File) readAt(p []byte, off int64) int {
+	if off >= f.size {
+		return 0
+	}
+	n := int(min(int64(len(p)), f.size-off))
+	for done := 0; done < n; {
+		bi := int((off + int64(done)) / BlockSize)
+		bo := int((off + int64(done)) % BlockSize)
+		chunk := min(BlockSize-bo, n-done)
+		if bi < len(f.blocks) && f.blocks[bi] != nil {
+			copy(p[done:done+chunk], f.blocks[bi].data[bo:bo+chunk])
+		} else {
+			clear(p[done : done+chunk])
+		}
+		done += chunk
+	}
+	return n
+}
+
+// writeAt stores p at offset off, growing the file and CoW-copying shared
+// blocks. The receiver must be exclusively owned (ref==1).
+func (f *File) writeAt(p []byte, off int64) {
+	end := off + int64(len(p))
+	needBlocks := int((end + BlockSize - 1) / BlockSize)
+	for len(f.blocks) < needBlocks {
+		f.blocks = append(f.blocks, nil)
+	}
+	for done := 0; done < len(p); {
+		bi := int((off + int64(done)) / BlockSize)
+		bo := int((off + int64(done)) % BlockSize)
+		chunk := min(BlockSize-bo, len(p)-done)
+		b := f.blocks[bi]
+		switch {
+		case b == nil:
+			b = newBlock()
+			f.blocks[bi] = b
+		case b.ref.Load() > 1:
+			nb := newBlock()
+			nb.data = b.data
+			b.ref.Add(-1)
+			f.blocks[bi] = nb
+			b = nb
+		}
+		copy(b.data[bo:bo+chunk], p[done:done+chunk])
+		done += chunk
+	}
+	if end > f.size {
+		f.size = end
+	}
+}
+
+// truncate sets the file size; the receiver must be exclusively owned.
+func (f *File) truncate(size int64) {
+	if size < f.size {
+		keep := int((size + BlockSize - 1) / BlockSize)
+		for i := keep; i < len(f.blocks); i++ {
+			if f.blocks[i] != nil {
+				f.blocks[i].ref.Add(-1)
+				f.blocks[i] = nil
+			}
+		}
+		f.blocks = f.blocks[:keep]
+		// Zero the tail of the boundary block so regrowth reads zeroes.
+		if keep > 0 && f.blocks[keep-1] != nil && size%BlockSize != 0 {
+			b := f.blocks[keep-1]
+			if b.ref.Load() > 1 {
+				nb := newBlock()
+				nb.data = b.data
+				b.ref.Add(-1)
+				f.blocks[keep-1] = nb
+				b = nb
+			}
+			clear(b.data[size%BlockSize:])
+		}
+	}
+	f.size = size
+}
+
+// Open flags (a deliberately small POSIX subset).
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+
+	accessMask = 0x3
+)
+
+// FD is one open-file description: path-addressed so CoW file replacement
+// under the descriptor stays coherent.
+type FD struct {
+	Path  string
+	Off   int64
+	Flags int
+	Open  bool
+}
+
+// Errors mirroring the errno the interposition layer reports to guests.
+var (
+	ErrNotExist = fmt.Errorf("fs: no such file")
+	ErrBadFD    = fmt.Errorf("fs: bad file descriptor")
+	ErrPerm     = fmt.Errorf("fs: operation not permitted")
+)
+
+// FS is one mutable filesystem view, owned by a single execution context.
+// FD numbers 0..2 are reserved for the stdio streams handled by the
+// interposition layer; file descriptors start at 3.
+type FS struct {
+	inodes map[string]*File
+	fds    []FD // index 0 ↔ fd 3
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{inodes: make(map[string]*File)}
+}
+
+// FirstFD is the lowest fd number Open can return.
+const FirstFD = 3
+
+func cleanPath(p string) string { return path.Clean("/" + p) }
+
+// WriteFile creates (or replaces) a file with the given content — the host
+// API for seeding inputs before a run.
+func (s *FS) WriteFile(name string, data []byte) {
+	name = cleanPath(name)
+	if old, ok := s.inodes[name]; ok {
+		old.release()
+	}
+	f := newFile()
+	f.writeAt(data, 0)
+	f.truncate(int64(len(data)))
+	s.inodes[name] = f
+}
+
+// ReadFile returns the full content of a file — the host inspection API.
+func (s *FS) ReadFile(name string) ([]byte, error) {
+	f, ok := s.inodes[cleanPath(name)]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	out := make([]byte, f.size)
+	f.readAt(out, 0)
+	return out, nil
+}
+
+// List returns all file paths in sorted order.
+func (s *FS) List() []string {
+	out := make([]string, 0, len(s.inodes))
+	for p := range s.inodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat returns the size of a file.
+func (s *FS) Stat(name string) (int64, error) {
+	f, ok := s.inodes[cleanPath(name)]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	return f.size, nil
+}
+
+// Unlink removes a file.
+func (s *FS) Unlink(name string) error {
+	name = cleanPath(name)
+	f, ok := s.inodes[name]
+	if !ok {
+		return ErrNotExist
+	}
+	f.release()
+	delete(s.inodes, name)
+	return nil
+}
+
+// Open opens name and returns an fd number (>= FirstFD).
+func (s *FS) Open(name string, flags int) (int, error) {
+	name = cleanPath(name)
+	f, exists := s.inodes[name]
+	if !exists {
+		if flags&OCreate == 0 {
+			return 0, ErrNotExist
+		}
+		f = newFile()
+		s.inodes[name] = f
+	} else if flags&OTrunc != 0 && flags&accessMask != ORdOnly {
+		s.exclusive(name, f).truncate(0)
+	}
+	fd := FD{Path: name, Flags: flags, Open: true}
+	for i := range s.fds {
+		if !s.fds[i].Open {
+			s.fds[i] = fd
+			return i + FirstFD, nil
+		}
+	}
+	s.fds = append(s.fds, fd)
+	return len(s.fds) - 1 + FirstFD, nil
+}
+
+func (s *FS) fd(n int) (*FD, error) {
+	i := n - FirstFD
+	if i < 0 || i >= len(s.fds) || !s.fds[i].Open {
+		return nil, ErrBadFD
+	}
+	return &s.fds[i], nil
+}
+
+// exclusive returns a privately owned File for name, cloning a shared one.
+func (s *FS) exclusive(name string, f *File) *File {
+	if f.ref.Load() > 1 {
+		c := f.clone()
+		f.release()
+		s.inodes[name] = c
+		return c
+	}
+	return f
+}
+
+// Read reads from an open descriptor, advancing its offset.
+func (s *FS) Read(fdnum int, p []byte) (int, error) {
+	fd, err := s.fd(fdnum)
+	if err != nil {
+		return 0, err
+	}
+	if fd.Flags&accessMask == OWrOnly {
+		return 0, ErrPerm
+	}
+	f, ok := s.inodes[fd.Path]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	n := f.readAt(p, fd.Off)
+	fd.Off += int64(n)
+	if n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write writes to an open descriptor, advancing its offset. The write is
+// contained in this view: snapshots and other views keep the old content.
+func (s *FS) Write(fdnum int, p []byte) (int, error) {
+	fd, err := s.fd(fdnum)
+	if err != nil {
+		return 0, err
+	}
+	if fd.Flags&accessMask == ORdOnly {
+		return 0, ErrPerm
+	}
+	f, ok := s.inodes[fd.Path]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	f = s.exclusive(fd.Path, f)
+	if fd.Flags&OAppend != 0 {
+		fd.Off = f.size
+	}
+	f.writeAt(p, fd.Off)
+	fd.Off += int64(len(p))
+	return len(p), nil
+}
+
+// Seek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Seek repositions an open descriptor.
+func (s *FS) Seek(fdnum int, off int64, whence int) (int64, error) {
+	fd, err := s.fd(fdnum)
+	if err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = fd.Off
+	case SeekEnd:
+		f, ok := s.inodes[fd.Path]
+		if !ok {
+			return 0, ErrNotExist
+		}
+		base = f.size
+	default:
+		return 0, fmt.Errorf("fs: bad whence %d", whence)
+	}
+	if base+off < 0 {
+		return 0, fmt.Errorf("fs: negative seek")
+	}
+	fd.Off = base + off
+	return fd.Off, nil
+}
+
+// Close closes an open descriptor.
+func (s *FS) Close(fdnum int) error {
+	fd, err := s.fd(fdnum)
+	if err != nil {
+		return err
+	}
+	fd.Open = false
+	return nil
+}
+
+// OpenFDs returns the number of open descriptors (diagnostics).
+func (s *FS) OpenFDs() int {
+	n := 0
+	for _, fd := range s.fds {
+		if fd.Open {
+			n++
+		}
+	}
+	return n
+}
+
+// Release drops this view's references. The view must not be used after.
+func (s *FS) Release() {
+	for _, f := range s.inodes {
+		f.release()
+	}
+	s.inodes = nil
+	s.fds = nil
+}
+
+// Snapshot captures an immutable logical copy of the filesystem and of the
+// descriptor table. Cost is O(#files) pointer copies; content is shared
+// copy-on-write.
+func (s *FS) Snapshot() *Snapshot {
+	inodes := make(map[string]*File, len(s.inodes))
+	for p, f := range s.inodes {
+		f.retain()
+		inodes[p] = f
+	}
+	fds := make([]FD, len(s.fds))
+	copy(fds, s.fds)
+	return &Snapshot{inodes: inodes, fds: fds}
+}
+
+// Snapshot is a frozen filesystem image: part of a partial candidate.
+type Snapshot struct {
+	inodes map[string]*File
+	fds    []FD
+}
+
+// Materialize builds a fresh mutable view seeded from the snapshot.
+func (sn *Snapshot) Materialize() *FS {
+	inodes := make(map[string]*File, len(sn.inodes))
+	for p, f := range sn.inodes {
+		f.retain()
+		inodes[p] = f
+	}
+	fds := make([]FD, len(sn.fds))
+	copy(fds, sn.fds)
+	return &FS{inodes: inodes, fds: fds}
+}
+
+// ReadFile reads a file out of the frozen image (solution extraction).
+func (sn *Snapshot) ReadFile(name string) ([]byte, error) {
+	f, ok := sn.inodes[cleanPath(name)]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	out := make([]byte, f.size)
+	f.readAt(out, 0)
+	return out, nil
+}
+
+// Files returns the sorted list of paths in the frozen image.
+func (sn *Snapshot) Files() []string {
+	out := make([]string, 0, len(sn.inodes))
+	for p := range sn.inodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Release drops the snapshot's references.
+func (sn *Snapshot) Release() {
+	for _, f := range sn.inodes {
+		f.release()
+	}
+	sn.inodes = nil
+	sn.fds = nil
+}

@@ -1,0 +1,447 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// Assemble parses SVX64 assembly text into a Builder. Supported syntax:
+//
+//	; line comment (also #)
+//	.text / .data            switch section
+//	.quad v, v, ...          64-bit words
+//	.byte v, v, ...          bytes
+//	.space N                 N zero bytes
+//	.asciz "s"               NUL-terminated string
+//	.equ NAME, value         assembler constant
+//	label:                   define label (may share a line with an op)
+//	mov rax, 42              register/immediate/=label forms auto-detected
+//	load rax, [rbx+8]        64-bit load;  loadb for bytes
+//	store rax, [rbx+rcx*8]   64-bit store; indexed forms use loadx/storex
+//	add/sub/and/or/xor/shl/shr/sar/mul rax, rbx|imm
+//	div/mod rax, rbx         unsigned
+//	cmp/test, jmp/je/jne/jl/jle/jg/jge/jb/jbe/ja/jae label
+//	call label / ret / push r / pop r / syscall / hlt / nop
+func Assemble(src string) (*Builder, error) {
+	b := NewBuilder()
+	consts := map[string]int64{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Peel off leading labels.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				break
+			}
+			b.Label(name)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := asmLine(b, consts, line); err != nil {
+			return nil, fmt.Errorf("asm line %d: %w", lineNo+1, err)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return b, nil
+}
+
+// AssembleImage assembles src and links it at the default bases.
+func AssembleImage(src string) (*Image, error) {
+	b, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return b.Link(CodeBase, DataBase)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func parseInt(consts map[string]int64, s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if v, ok := consts[s]; ok {
+		return v, true
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	iv := int64(v)
+	if neg {
+		iv = -iv
+	}
+	return iv, true
+}
+
+// memRef is a parsed [base], [base+disp], [base+idx*scale(+disp)] operand.
+type memRef struct {
+	base  vm.Reg
+	idx   vm.Reg
+	scale uint8 // 0 means no index
+	disp  int64
+}
+
+func parseMem(consts map[string]int64, s string) (memRef, error) {
+	var m memRef
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return m, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Normalize "a - b" into "a + -b" then split on '+'.
+	inner = strings.ReplaceAll(inner, "-", "+-")
+	parts := strings.Split(inner, "+")
+	seenBase := false
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if star := strings.Index(p, "*"); star >= 0 {
+			rName := strings.TrimSpace(p[:star])
+			r, ok := vm.RegByName(rName)
+			if !ok {
+				return m, fmt.Errorf("bad index register %q", rName)
+			}
+			sc, ok := parseInt(consts, p[star+1:])
+			if !ok || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return m, fmt.Errorf("bad scale in %q", p)
+			}
+			m.idx, m.scale = r, uint8(sc)
+			continue
+		}
+		if r, ok := vm.RegByName(p); ok {
+			if !seenBase {
+				m.base, seenBase = r, true
+			} else if m.scale == 0 {
+				m.idx, m.scale = r, 1 // [base+idx] form
+			} else {
+				return m, fmt.Errorf("too many registers in %q", s)
+			}
+			continue
+		}
+		if v, ok := parseInt(consts, p); ok {
+			m.disp += v
+			continue
+		}
+		return m, fmt.Errorf("bad memory term %q", p)
+	}
+	if !seenBase {
+		return m, fmt.Errorf("memory operand %q lacks a base register", s)
+	}
+	return m, nil
+}
+
+func asmLine(b *Builder, consts map[string]int64, line string) error {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	reg := func(i int) (vm.Reg, error) {
+		r, ok := vm.RegByName(strings.ToLower(ops[i]))
+		if !ok {
+			return 0, fmt.Errorf("bad register %q", ops[i])
+		}
+		return r, nil
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	// Directives.
+	switch mnem {
+	case ".text":
+		b.Text()
+		return nil
+	case ".data":
+		b.Data()
+		return nil
+	case ".space":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, ok := parseInt(consts, ops[0])
+		if !ok || n < 0 {
+			return fmt.Errorf("bad .space size %q", ops[0])
+		}
+		b.Space(int(n))
+		return nil
+	case ".quad":
+		for _, o := range ops {
+			v, ok := parseInt(consts, o)
+			if !ok {
+				return fmt.Errorf("bad .quad value %q", o)
+			}
+			b.Quad(uint64(v))
+		}
+		return nil
+	case ".byte":
+		for _, o := range ops {
+			v, ok := parseInt(consts, o)
+			if !ok || v < -128 || v > 255 {
+				return fmt.Errorf("bad .byte value %q", o)
+			}
+			b.Byte(byte(v))
+		}
+		return nil
+	case ".asciz":
+		if err := need(1); err != nil {
+			return err
+		}
+		s, err := strconv.Unquote(ops[0])
+		if err != nil {
+			return fmt.Errorf("bad .asciz string: %v", err)
+		}
+		b.Asciz(s)
+		return nil
+	case ".equ":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, ok := parseInt(consts, ops[1])
+		if !ok {
+			return fmt.Errorf("bad .equ value %q", ops[1])
+		}
+		consts[ops[0]] = v
+		return nil
+	}
+
+	// Zero-operand instructions.
+	switch mnem {
+	case "ret":
+		b.Ret()
+		return nil
+	case "syscall":
+		b.Syscall()
+		return nil
+	case "hlt":
+		b.Hlt()
+		return nil
+	case "nop":
+		b.Nop()
+		return nil
+	}
+
+	// Single-register instructions.
+	switch mnem {
+	case "neg", "not", "inc", "dec", "push", "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "neg":
+			b.Neg(r)
+		case "not":
+			b.Not(r)
+		case "inc":
+			b.Inc(r)
+		case "dec":
+			b.Dec(r)
+		case "push":
+			b.Push(r)
+		case "pop":
+			b.Pop(r)
+		}
+		return nil
+	}
+
+	// Branches.
+	branches := map[string]func(string) *Builder{
+		"jmp": b.Jmp, "je": b.Je, "jne": b.Jne, "jl": b.Jl, "jle": b.Jle,
+		"jg": b.Jg, "jge": b.Jge, "jb": b.Jb, "jbe": b.Jbe, "ja": b.Ja,
+		"jae": b.Jae, "call": b.Call,
+	}
+	if fn, ok := branches[mnem]; ok {
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fmt.Errorf("bad branch target %q", ops[0])
+		}
+		fn(ops[0])
+		return nil
+	}
+
+	// Memory ops: op reg, [mem]  (loads/lea)  or  op reg, [mem] (stores keep
+	// the register first for symmetry: store src, [mem]).
+	memOps := map[string]bool{"load": true, "loadb": true, "store": true, "storeb": true, "lea": true,
+		"loadx": true, "storex": true, "loadbx": true, "storebx": true}
+	if memOps[mnem] {
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		m, err := parseMem(consts, ops[1])
+		if err != nil {
+			return err
+		}
+		indexed := m.scale != 0
+		switch {
+		case mnem == "lea" && !indexed:
+			b.Lea(r, m.base, m.disp)
+		case mnem == "load" && indexed || mnem == "loadx":
+			if !indexed {
+				m.idx, m.scale = vm.RAX, 1
+				return fmt.Errorf("loadx needs an indexed operand")
+			}
+			b.LoadX(r, m.base, m.idx, m.scale, m.disp)
+		case mnem == "store" && indexed || mnem == "storex":
+			if !indexed {
+				return fmt.Errorf("storex needs an indexed operand")
+			}
+			b.StoreX(r, m.base, m.idx, m.scale, m.disp)
+		case mnem == "loadb" && indexed || mnem == "loadbx":
+			if !indexed {
+				return fmt.Errorf("loadbx needs an indexed operand")
+			}
+			b.LoadBX(r, m.base, m.idx, m.scale, m.disp)
+		case mnem == "storeb" && indexed || mnem == "storebx":
+			if !indexed {
+				return fmt.Errorf("storebx needs an indexed operand")
+			}
+			b.StoreBX(r, m.base, m.idx, m.scale, m.disp)
+		case mnem == "load":
+			b.Load(r, m.base, m.disp)
+		case mnem == "store":
+			b.Store(r, m.base, m.disp)
+		case mnem == "loadb":
+			b.LoadB(r, m.base, m.disp)
+		case mnem == "storeb":
+			b.StoreB(r, m.base, m.disp)
+		default:
+			return fmt.Errorf("%s with indexed operand not supported", mnem)
+		}
+		return nil
+	}
+
+	// Two-operand ALU / mov.
+	type aluPair struct {
+		rr func(a, b vm.Reg) *Builder
+		ri func(a vm.Reg, imm int64) *Builder
+	}
+	alu := map[string]aluPair{
+		"add": {b.Add, b.AddI}, "sub": {b.Sub, b.SubI}, "and": {b.And, b.AndI},
+		"or": {b.Or, b.OrI}, "xor": {b.Xor, b.XorI}, "shl": {b.Shl, b.ShlI},
+		"shr": {b.Shr, b.ShrI}, "sar": {b.Sar, b.SarI}, "mul": {b.Mul, b.MulI},
+		"cmp": {b.Cmp, b.CmpI},
+		"div": {b.Div, nil}, "mod": {b.Mod, nil}, "test": {b.Test, nil},
+	}
+	if mnem == "mov" {
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if src, ok := vm.RegByName(strings.ToLower(ops[1])); ok {
+			b.Mov(dst, src)
+			return nil
+		}
+		if strings.HasPrefix(ops[1], "=") {
+			label := ops[1][1:]
+			if !isIdent(label) {
+				return fmt.Errorf("bad label reference %q", ops[1])
+			}
+			b.MovLabel(dst, label)
+			return nil
+		}
+		v, ok := parseInt(consts, ops[1])
+		if !ok {
+			return fmt.Errorf("bad mov source %q", ops[1])
+		}
+		b.MovI(dst, uint64(v))
+		return nil
+	}
+	if pair, ok := alu[mnem]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if src, ok := vm.RegByName(strings.ToLower(ops[1])); ok {
+			pair.rr(dst, src)
+			return nil
+		}
+		if pair.ri == nil {
+			return fmt.Errorf("%s does not take an immediate", mnem)
+		}
+		v, ok := parseInt(consts, ops[1])
+		if !ok {
+			return fmt.Errorf("bad %s operand %q", mnem, ops[1])
+		}
+		pair.ri(dst, v)
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mnem)
+}

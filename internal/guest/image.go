@@ -1,0 +1,89 @@
+// Package guest builds and loads SVX64 programs: a programmatic assembler
+// (Builder), a two-pass text assembler, and a loader that lays the linked
+// image out in a fresh address space with the conventional W^X segment
+// layout (code RX, data/heap/stack RW).
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Conventional virtual-memory layout for loaded guests.
+const (
+	// CodeBase is where the text segment is linked by default.
+	CodeBase uint64 = 0x0000_0000_0040_0000
+	// DataBase is where the data segment is linked by default.
+	DataBase uint64 = 0x0000_0000_0080_0000
+	// HeapBase is the initial program break.
+	HeapBase uint64 = 0x0000_0000_1000_0000
+	// StackTop is one past the highest stack address.
+	StackTop uint64 = 0x0000_7fff_ff00_0000
+	// DefaultStackSize is the stack reservation.
+	DefaultStackSize uint64 = 1 << 20
+)
+
+// Segment is one mapped, initialized region of a program image.
+type Segment struct {
+	Addr uint64
+	Data []byte
+	Perm mem.Perm
+	Name string
+}
+
+// Image is a linked program ready to load into an address space.
+type Image struct {
+	Entry    uint64
+	Segments []Segment
+}
+
+// LoadOptions tunes Load.
+type LoadOptions struct {
+	StackSize uint64 // 0 means DefaultStackSize
+	HeapPages uint64 // initially mapped heap pages (brk can grow more)
+}
+
+// Load maps img into a fresh address space drawn from alloc and returns the
+// space plus the initial register file: RIP at the entry point, RSP at the
+// top of the stack. The heap region is mapped at HeapBase and the break
+// initialized so the brk syscall works out of the box.
+func Load(img *Image, alloc *mem.FrameAllocator, opts LoadOptions) (*mem.AddressSpace, vm.Registers, error) {
+	var regs vm.Registers
+	as := mem.NewAddressSpace(alloc)
+	for _, seg := range img.Segments {
+		length := mem.PageCeil(uint64(len(seg.Data)))
+		if length == 0 {
+			continue
+		}
+		if err := as.Map(seg.Addr, length, seg.Perm, seg.Name); err != nil {
+			as.Release()
+			return nil, regs, fmt.Errorf("guest: load %s: %w", seg.Name, err)
+		}
+		if err := as.WriteForce(seg.Data, seg.Addr); err != nil {
+			as.Release()
+			return nil, regs, fmt.Errorf("guest: load %s: %w", seg.Name, err)
+		}
+	}
+	heapPages := opts.HeapPages
+	if heapPages == 0 {
+		heapPages = 4
+	}
+	if err := as.Map(HeapBase, heapPages*mem.PageSize, mem.PermRW, "heap"); err != nil {
+		as.Release()
+		return nil, regs, err
+	}
+	as.InitBrk(HeapBase)
+	stackSize := opts.StackSize
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+	if err := as.Map(StackTop-stackSize, stackSize, mem.PermRW, "stack"); err != nil {
+		as.Release()
+		return nil, regs, err
+	}
+	regs.RIP = img.Entry
+	regs.Set(vm.RSP, StackTop)
+	return as, regs, nil
+}

@@ -1,0 +1,442 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// VMA is a mapped virtual-memory region [Start, End) with region-granular
+// protection, the software analogue of a kernel vm_area_struct.
+type VMA struct {
+	Start uint64
+	End   uint64
+	Perm  Perm
+	Name  string
+}
+
+// Size returns the region length in bytes.
+func (v VMA) Size() uint64 { return v.End - v.Start }
+
+func (v VMA) contains(addr uint64) bool { return addr >= v.Start && addr < v.End }
+
+// AddressSpace is one mutable guest address space: a VMA list plus a
+// persistent page table. Forking an address space is O(1): the fork shares
+// the frozen page-table root and both sides copy-on-write from then on.
+//
+// An AddressSpace is owned by a single goroutine. The *shared* structures
+// underneath (frames, table nodes) use atomic refcounts, so address spaces
+// forked from a common snapshot may be used from different goroutines
+// concurrently.
+type AddressSpace struct {
+	pt    pageTable
+	vmas  []VMA // sorted by Start, non-overlapping
+	brk   uint64
+	stats Stats
+}
+
+// NewAddressSpace returns an empty address space drawing frames from alloc.
+func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
+	return &AddressSpace{pt: pageTable{alloc: alloc}}
+}
+
+// Alloc returns the frame allocator backing this space.
+func (as *AddressSpace) Alloc() *FrameAllocator { return as.pt.alloc }
+
+// Stats returns the event counters accumulated by this space.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// ResetStats zeroes the event counters (benchmark plumbing).
+func (as *AddressSpace) ResetStats() { as.stats = Stats{} }
+
+// VMAs returns a copy of the region list.
+func (as *AddressSpace) VMAs() []VMA {
+	out := make([]VMA, len(as.vmas))
+	copy(out, as.vmas)
+	return out
+}
+
+// findVMA returns the region containing addr, or nil.
+func (as *AddressSpace) findVMA(addr uint64) *VMA {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > addr })
+	if i < len(as.vmas) && as.vmas[i].contains(addr) {
+		return &as.vmas[i]
+	}
+	return nil
+}
+
+// Map establishes a new region at [start, start+length) with the given
+// protection. start and length must be page aligned, the range must lie
+// within the virtual address width and must not overlap an existing region.
+func (as *AddressSpace) Map(start, length uint64, perm Perm, name string) error {
+	if start&PageMask != 0 || length&PageMask != 0 {
+		return fmt.Errorf("mem: Map %q: unaligned range [%#x,+%#x)", name, start, length)
+	}
+	if length == 0 {
+		return fmt.Errorf("mem: Map %q: empty range", name)
+	}
+	end := start + length
+	if end > MaxVA || end < start {
+		return &Fault{Kind: FaultBadAddress, Addr: start}
+	}
+	for i := range as.vmas {
+		v := &as.vmas[i]
+		if start < v.End && v.Start < end {
+			return fmt.Errorf("mem: Map %q: [%#x,%#x) overlaps %q [%#x,%#x)",
+				name, start, end, v.Name, v.Start, v.End)
+		}
+	}
+	as.vmas = append(as.vmas, VMA{Start: start, End: end, Perm: perm, Name: name})
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return nil
+}
+
+// Unmap removes the page-aligned range [start, start+length), splitting
+// regions that straddle it and dropping the backing frames.
+func (as *AddressSpace) Unmap(start, length uint64) error {
+	if start&PageMask != 0 || length&PageMask != 0 {
+		return fmt.Errorf("mem: Unmap: unaligned range [%#x,+%#x)", start, length)
+	}
+	end := start + length
+	var out []VMA
+	for _, v := range as.vmas {
+		switch {
+		case v.End <= start || v.Start >= end: // untouched
+			out = append(out, v)
+		case v.Start < start && v.End > end: // split
+			out = append(out,
+				VMA{Start: v.Start, End: start, Perm: v.Perm, Name: v.Name},
+				VMA{Start: end, End: v.End, Perm: v.Perm, Name: v.Name})
+		case v.Start < start: // trim tail
+			out = append(out, VMA{Start: v.Start, End: start, Perm: v.Perm, Name: v.Name})
+		case v.End > end: // trim head
+			out = append(out, VMA{Start: end, End: v.End, Perm: v.Perm, Name: v.Name})
+		default: // fully covered
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	as.vmas = out
+	for addr := start; addr < end; addr += PageSize {
+		as.pt.clearPage(addr, &as.stats)
+	}
+	return nil
+}
+
+// Protect changes the protection of the page-aligned range, which must be
+// fully mapped. Regions are split as needed (mprotect semantics).
+func (as *AddressSpace) Protect(start, length uint64, perm Perm) error {
+	if start&PageMask != 0 || length&PageMask != 0 {
+		return fmt.Errorf("mem: Protect: unaligned range [%#x,+%#x)", start, length)
+	}
+	end := start + length
+	for addr := start; addr < end; {
+		v := as.findVMA(addr)
+		if v == nil {
+			return &Fault{Kind: FaultNotMapped, Addr: addr}
+		}
+		addr = v.End
+	}
+	var out []VMA
+	for _, v := range as.vmas {
+		if v.End <= start || v.Start >= end {
+			out = append(out, v)
+			continue
+		}
+		if v.Start < start {
+			out = append(out, VMA{Start: v.Start, End: start, Perm: v.Perm, Name: v.Name})
+		}
+		lo, hi := max(v.Start, start), min(v.End, end)
+		out = append(out, VMA{Start: lo, End: hi, Perm: perm, Name: v.Name})
+		if v.End > end {
+			out = append(out, VMA{Start: end, End: v.End, Perm: v.Perm, Name: v.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	as.vmas = out
+	return nil
+}
+
+// InitBrk establishes the program break for a heap region created by Map.
+func (as *AddressSpace) InitBrk(brk uint64) { as.brk = brk }
+
+// Brk implements the brk system call against the region named "heap":
+// newBrk == 0 queries; growth extends the heap VMA (page-rounded); shrink
+// unmaps the tail. Returns the resulting break.
+func (as *AddressSpace) Brk(newBrk uint64) (uint64, error) {
+	if newBrk == 0 {
+		return as.brk, nil
+	}
+	var heap *VMA
+	for i := range as.vmas {
+		if as.vmas[i].Name == "heap" {
+			heap = &as.vmas[i]
+			break
+		}
+	}
+	if heap == nil {
+		return as.brk, fmt.Errorf("mem: Brk: no heap region")
+	}
+	if newBrk < heap.Start {
+		return as.brk, fmt.Errorf("mem: Brk: %#x below heap base %#x", newBrk, heap.Start)
+	}
+	newEnd := PageCeil(newBrk)
+	if newEnd > heap.End {
+		// Refuse to grow into a neighbouring region.
+		for _, v := range as.vmas {
+			if v.Start >= heap.End && v.Start < newEnd {
+				return as.brk, fmt.Errorf("mem: Brk: heap would collide with %q", v.Name)
+			}
+		}
+		heap.End = newEnd
+	} else if newEnd < heap.End {
+		start := newEnd
+		length := heap.End - newEnd
+		heap.End = newEnd
+		for addr := start; addr < start+length; addr += PageSize {
+			as.pt.clearPage(addr, &as.stats)
+		}
+	}
+	as.brk = newBrk
+	return as.brk, nil
+}
+
+// check validates an n-byte access at addr, returning the fault that a real
+// MMU would raise, or nil. The range may span multiple contiguous VMAs.
+func (as *AddressSpace) check(addr uint64, n int, access Access) error {
+	if n == 0 {
+		return nil
+	}
+	end := addr + uint64(n)
+	if end > MaxVA || end < addr {
+		return &Fault{Kind: FaultBadAddress, Addr: addr, Access: access}
+	}
+	want := access.perm()
+	for a := addr; a < end; {
+		v := as.findVMA(a)
+		if v == nil {
+			return &Fault{Kind: FaultNotMapped, Addr: a, Access: access}
+		}
+		if !v.Perm.Can(want) {
+			return &Fault{Kind: FaultProtection, Addr: a, Access: access}
+		}
+		a = v.End
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes at addr into p, observing region protection.
+// Unwritten pages read as zeroes (demand-zero).
+func (as *AddressSpace) ReadAt(p []byte, addr uint64) error {
+	return as.read(p, addr, AccessRead)
+}
+
+// FetchAt is ReadAt with execute permission, used for instruction fetch.
+func (as *AddressSpace) FetchAt(p []byte, addr uint64) error {
+	return as.read(p, addr, AccessExec)
+}
+
+func (as *AddressSpace) read(p []byte, addr uint64, access Access) error {
+	if err := as.check(addr, len(p), access); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		off := int(addr & PageMask)
+		n := min(PageSize-off, len(p))
+		if f := lookup(as.pt.root, addr); f != nil {
+			copy(p[:n], f.Data[off:off+n])
+		} else {
+			clear(p[:n])
+		}
+		p = p[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt stores p at addr, observing region protection. Writes to pages
+// shared with a snapshot take a CoW fault and copy the page first.
+func (as *AddressSpace) WriteAt(p []byte, addr uint64) error {
+	if err := as.check(addr, len(p), AccessWrite); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		off := int(addr & PageMask)
+		n := min(PageSize-off, len(p))
+		f, err := as.pt.ensureWritable(addr, &as.stats)
+		if err != nil {
+			return err
+		}
+		copy(f.Data[off:off+n], p[:n])
+		p = p[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteForce stores p at addr ignoring write protection (the range must
+// still be mapped). This is the kernel/loader path used to populate
+// read-only and executable segments; guest-originated writes must use
+// WriteAt.
+func (as *AddressSpace) WriteForce(p []byte, addr uint64) error {
+	if err := as.check(addr, len(p), AccessRead); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		off := int(addr & PageMask)
+		n := min(PageSize-off, len(p))
+		f, err := as.pt.ensureWritable(addr, &as.stats)
+		if err != nil {
+			return err
+		}
+		copy(f.Data[off:off+n], p[:n])
+		p = p[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadU64 loads a little-endian 64-bit word. Aligned loads take the
+// single-page fast path.
+func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
+	if addr&7 == 0 {
+		if err := as.check(addr, 8, AccessRead); err != nil {
+			return 0, err
+		}
+		f := lookup(as.pt.root, addr)
+		if f == nil {
+			return 0, nil
+		}
+		off := addr & PageMask
+		return binary.LittleEndian.Uint64(f.Data[off : off+8]), nil
+	}
+	var b [8]byte
+	if err := as.ReadAt(b[:], addr); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 stores a little-endian 64-bit word.
+func (as *AddressSpace) WriteU64(addr, val uint64) error {
+	if addr&7 == 0 {
+		if err := as.check(addr, 8, AccessWrite); err != nil {
+			return err
+		}
+		f, err := as.pt.ensureWritable(addr, &as.stats)
+		if err != nil {
+			return err
+		}
+		off := addr & PageMask
+		binary.LittleEndian.PutUint64(f.Data[off:off+8], val)
+		return nil
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	return as.WriteAt(b[:], addr)
+}
+
+// ReadU8 loads one byte.
+func (as *AddressSpace) ReadU8(addr uint64) (byte, error) {
+	var b [1]byte
+	if err := as.ReadAt(b[:], addr); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// WriteU8 stores one byte.
+func (as *AddressSpace) WriteU8(addr uint64, v byte) error {
+	b := [1]byte{v}
+	return as.WriteAt(b[:], addr)
+}
+
+// ReadU32 loads a little-endian 32-bit word.
+func (as *AddressSpace) ReadU32(addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := as.ReadAt(b[:], addr); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 stores a little-endian 32-bit word.
+func (as *AddressSpace) WriteU32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.WriteAt(b[:], addr)
+}
+
+// ReadCString reads a NUL-terminated string of at most maxLen bytes.
+func (as *AddressSpace) ReadCString(addr uint64, maxLen int) (string, error) {
+	buf := make([]byte, 0, 64)
+	for i := 0; i < maxLen; i++ {
+		c, err := as.ReadU8(addr + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if c == 0 {
+			return string(buf), nil
+		}
+		buf = append(buf, c)
+	}
+	return "", fmt.Errorf("mem: unterminated string at %#x", addr)
+}
+
+// Fork returns an O(1) logical copy of the address space. Parent and child
+// share every page copy-on-write; the VMA list and break are duplicated.
+// This is the primitive lightweight snapshots build on.
+func (as *AddressSpace) Fork() *AddressSpace {
+	if as.pt.root != nil {
+		retainNode(as.pt.root)
+	}
+	vmas := make([]VMA, len(as.vmas))
+	copy(vmas, as.vmas)
+	return &AddressSpace{
+		pt:   pageTable{root: as.pt.root, alloc: as.pt.alloc},
+		vmas: vmas,
+		brk:  as.brk,
+	}
+}
+
+// Release drops this space's reference to its page table, freeing frames
+// whose last reference this was. The space must not be used afterwards.
+func (as *AddressSpace) Release() {
+	if as.pt.root != nil {
+		releaseNode(as.pt.alloc, as.pt.root)
+		as.pt.root = nil
+	}
+	as.vmas = nil
+}
+
+// Footprint walks the page table and reports residency and sharing.
+func (as *AddressSpace) Footprint() Footprint { return footprint(as.pt.root) }
+
+// ResidentPages returns the number of frames reachable from this space.
+func (as *AddressSpace) ResidentPages() int {
+	fp := as.Footprint()
+	return fp.PrivatePages + fp.SharedPages
+}
+
+// ForEachPage calls fn for every resident page in ascending address order;
+// fn must not retain f. Used by the full-copy checkpoint baseline.
+func (as *AddressSpace) ForEachPage(fn func(addr uint64, f *Frame)) {
+	forEachPage(as.pt.root, func(vpn uint64, f *Frame) { fn(vpn<<PageShift, f) })
+}
+
+// FrameAt returns the physical frame backing addr for reading, or nil when
+// the page is demand-zero. Callers must not write through the frame; it may
+// be shared with snapshots. Protection is not checked here — callers are
+// trusted internal paths (instruction-fetch TLB, checkpoint walkers) that
+// validated the access already.
+func (as *AddressSpace) FrameAt(addr uint64) *Frame { return lookup(as.pt.root, addr) }
+
+// TouchWritable forces the page containing addr to be privately owned,
+// taking the CoW fault eagerly. Benchmarks use it to charge fault costs at
+// controlled points.
+func (as *AddressSpace) TouchWritable(addr uint64) error {
+	if err := as.check(addr, 1, AccessWrite); err != nil {
+		return err
+	}
+	_, err := as.pt.ensureWritable(addr, &as.stats)
+	return err
+}

@@ -1,0 +1,51 @@
+package mem
+
+import "fmt"
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds. CoW faults are handled internally (they copy the page and
+// the access proceeds); only the kinds below surface to the guest.
+const (
+	// FaultNotMapped: the address lies in no mapped region.
+	FaultNotMapped FaultKind = iota
+	// FaultProtection: the region is mapped but forbids the access.
+	FaultProtection
+	// FaultBadAddress: the address exceeds the virtual address width.
+	FaultBadAddress
+	// FaultOOM: the frame allocator is exhausted.
+	FaultOOM
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNotMapped:
+		return "not-mapped"
+	case FaultProtection:
+		return "protection"
+	case FaultBadAddress:
+		return "bad-address"
+	case FaultOOM:
+		return "out-of-memory"
+	}
+	return "fault?"
+}
+
+// Fault is the software equivalent of a page-fault exception delivered to
+// the libOS. It satisfies error so memory accessors can return it directly.
+type Fault struct {
+	Kind   FaultKind
+	Addr   uint64
+	Access Access
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault on %s at %#x", f.Kind, f.Access, f.Addr)
+}
+
+// IsFault reports whether err is a memory fault and returns it if so.
+func IsFault(err error) (*Fault, bool) {
+	f, ok := err.(*Fault)
+	return f, ok
+}

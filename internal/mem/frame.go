@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is a refcounted 4 KiB physical frame. Frames referenced by more
+// than one page table are immutable; writers copy them first (CoW).
+type Frame struct {
+	ref  atomic.Int32
+	Data [PageSize]byte
+}
+
+// FrameAllocator hands out physical frames against a configurable limit and
+// recycles freed frames through a pool. It is safe for concurrent use; all
+// bookkeeping is atomic so parallel extension evaluation (Fig. 2 of the
+// paper) never serializes on the allocator.
+type FrameAllocator struct {
+	limit int64 // max live frames; 0 means unlimited
+	live  atomic.Int64
+	total atomic.Int64 // cumulative allocations
+	pool  sync.Pool
+}
+
+// NewFrameAllocator returns an allocator bounded to limit live frames.
+// limit == 0 means unbounded.
+func NewFrameAllocator(limit int64) *FrameAllocator {
+	fa := &FrameAllocator{limit: limit}
+	fa.pool.New = func() any { return new(Frame) }
+	return fa
+}
+
+// Alloc returns a zeroed frame with refcount 1, or a FaultOOM fault when
+// the limit is exhausted.
+func (fa *FrameAllocator) Alloc() (*Frame, error) {
+	if fa.limit > 0 && fa.live.Load() >= fa.limit {
+		return nil, &Fault{Kind: FaultOOM}
+	}
+	fa.live.Add(1)
+	fa.total.Add(1)
+	f := fa.pool.Get().(*Frame)
+	f.Data = [PageSize]byte{}
+	f.ref.Store(1)
+	return f, nil
+}
+
+// clone returns a private copy of src with refcount 1.
+func (fa *FrameAllocator) clone(src *Frame) (*Frame, error) {
+	f, err := fa.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	f.Data = src.Data
+	return f, nil
+}
+
+// retain adds a reference to f.
+func retain(f *Frame) { f.ref.Add(1) }
+
+// release drops a reference to f, returning it to the pool at zero.
+func (fa *FrameAllocator) release(f *Frame) {
+	if f.ref.Add(-1) == 0 {
+		fa.live.Add(-1)
+		fa.pool.Put(f)
+	}
+}
+
+// Live returns the number of live frames.
+func (fa *FrameAllocator) Live() int64 { return fa.live.Load() }
+
+// Total returns the cumulative number of frame allocations.
+func (fa *FrameAllocator) Total() int64 { return fa.total.Load() }
+
+// Limit returns the configured live-frame limit (0 = unbounded).
+func (fa *FrameAllocator) Limit() int64 { return fa.limit }

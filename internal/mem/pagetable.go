@@ -1,0 +1,266 @@
+package mem
+
+import "sync/atomic"
+
+// tableNode is one node of a persistent 4-level radix page table.
+//
+// Persistence discipline: a node reachable through any node whose refcount
+// exceeds one is logically frozen and must never be mutated. Writers that
+// need a private path perform path copying: they clone every shared node
+// from the root down to the PTE, retaining the children of each clone, and
+// only then mutate. Snapshot creation is therefore O(1) — it just retains
+// the root — while the first write to each shared subtree pays for the
+// pointer copies, and the first write to each shared page pays a single
+// 4 KiB copy (the simulated CoW fault).
+type tableNode struct {
+	ref   atomic.Int32
+	level int8
+	kids  []*tableNode // level > 0: next-level nodes, len levelSize
+	ptes  []*Frame     // level == 0: physical frames, len levelSize
+}
+
+func newNode(level int8) *tableNode {
+	n := &tableNode{level: level}
+	n.ref.Store(1)
+	if level == 0 {
+		n.ptes = make([]*Frame, levelSize)
+	} else {
+		n.kids = make([]*tableNode, levelSize)
+	}
+	return n
+}
+
+func retainNode(n *tableNode) { n.ref.Add(1) }
+
+// releaseNode drops one reference; at zero it recursively releases children
+// and returns frames to the allocator. Node memory itself is left to GC.
+func releaseNode(fa *FrameAllocator, n *tableNode) {
+	if n == nil || n.ref.Add(-1) != 0 {
+		return
+	}
+	if n.level == 0 {
+		for _, f := range n.ptes {
+			if f != nil {
+				fa.release(f)
+			}
+		}
+		return
+	}
+	for _, k := range n.kids {
+		if k != nil {
+			releaseNode(fa, k)
+		}
+	}
+}
+
+// cloneNode returns a private copy of n with refcount 1, retaining every
+// child so the clone and the original safely share subtrees.
+func cloneNode(n *tableNode) *tableNode {
+	c := &tableNode{level: n.level}
+	c.ref.Store(1)
+	if n.level == 0 {
+		c.ptes = make([]*Frame, levelSize)
+		copy(c.ptes, n.ptes)
+		for _, f := range c.ptes {
+			if f != nil {
+				retain(f)
+			}
+		}
+		return c
+	}
+	c.kids = make([]*tableNode, levelSize)
+	copy(c.kids, n.kids)
+	for _, k := range c.kids {
+		if k != nil {
+			retainNode(k)
+		}
+	}
+	return c
+}
+
+// lookup walks the table for a read access and returns the frame backing
+// addr, or nil when the page has never been written (demand-zero).
+func lookup(root *tableNode, addr uint64) *Frame {
+	n := root
+	for level := numLevels - 1; level > 0; level-- {
+		if n == nil {
+			return nil
+		}
+		n = n.kids[levelIndex(addr, level)]
+	}
+	if n == nil {
+		return nil
+	}
+	return n.ptes[levelIndex(addr, 0)]
+}
+
+// pageTable wraps the mutable root pointer plus the bookkeeping the write
+// path needs. It is owned by exactly one AddressSpace.
+type pageTable struct {
+	root  *tableNode
+	alloc *FrameAllocator
+}
+
+// ensureWritable returns a frame backing addr that is exclusively owned by
+// this table, path-copying shared nodes and CoW-copying a shared frame.
+// stats is charged for clones, zero fills and CoW copies.
+func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
+	if pt.root == nil {
+		pt.root = newNode(numLevels - 1)
+	} else if pt.root.ref.Load() > 1 {
+		c := cloneNode(pt.root)
+		releaseNode(pt.alloc, pt.root)
+		pt.root = c
+		stats.NodeClones++
+	}
+	n := pt.root
+	for level := numLevels - 1; level > 0; level-- {
+		idx := levelIndex(addr, level)
+		child := n.kids[idx]
+		switch {
+		case child == nil:
+			child = newNode(int8(level - 1))
+			n.kids[idx] = child
+		case child.ref.Load() > 1:
+			c := cloneNode(child)
+			releaseNode(pt.alloc, child)
+			n.kids[idx] = c
+			child = c
+			stats.NodeClones++
+		}
+		n = child
+	}
+	idx := levelIndex(addr, 0)
+	f := n.ptes[idx]
+	switch {
+	case f == nil:
+		var err error
+		f, err = pt.alloc.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		n.ptes[idx] = f
+		stats.ZeroFills++
+	case f.ref.Load() > 1:
+		c, err := pt.alloc.clone(f)
+		if err != nil {
+			return nil, err
+		}
+		pt.alloc.release(f)
+		n.ptes[idx] = c
+		f = c
+		stats.CowCopies++
+	}
+	return f, nil
+}
+
+// clearPage drops the frame backing addr if one exists. The path is made
+// exclusive first so shared snapshots keep their copy.
+func (pt *pageTable) clearPage(addr uint64, stats *Stats) {
+	if pt.root == nil {
+		return
+	}
+	if pt.root.ref.Load() > 1 {
+		c := cloneNode(pt.root)
+		releaseNode(pt.alloc, pt.root)
+		pt.root = c
+		stats.NodeClones++
+	}
+	n := pt.root
+	for level := numLevels - 1; level > 0; level-- {
+		idx := levelIndex(addr, level)
+		child := n.kids[idx]
+		if child == nil {
+			return
+		}
+		if child.ref.Load() > 1 {
+			c := cloneNode(child)
+			releaseNode(pt.alloc, child)
+			n.kids[idx] = c
+			child = c
+			stats.NodeClones++
+		}
+		n = child
+	}
+	idx := levelIndex(addr, 0)
+	if f := n.ptes[idx]; f != nil {
+		pt.alloc.release(f)
+		n.ptes[idx] = nil
+	}
+}
+
+// forEachPage invokes fn for every resident page, in ascending VPN order.
+func forEachPage(root *tableNode, fn func(vpn uint64, f *Frame)) {
+	var walk func(n *tableNode, base uint64)
+	walk = func(n *tableNode, base uint64) {
+		if n == nil {
+			return
+		}
+		if n.level == 0 {
+			for i, f := range n.ptes {
+				if f != nil {
+					fn(base+uint64(i), f)
+				}
+			}
+			return
+		}
+		span := uint64(1) << (uint(n.level) * levelBits)
+		for i, k := range n.kids {
+			if k != nil {
+				walk(k, base+uint64(i)*span)
+			}
+		}
+	}
+	walk(root, 0)
+}
+
+// Footprint summarizes physical residency of one table for the sharing
+// experiments (E8): frames reachable, split by whether they are shared with
+// another table, plus interior node counts.
+type Footprint struct {
+	PrivatePages int // frames with refcount 1
+	SharedPages  int // frames with refcount > 1
+	PrivateNodes int
+	SharedNodes  int
+}
+
+// PrivateBytes returns the number of bytes exclusively owned.
+func (f Footprint) PrivateBytes() int64 { return int64(f.PrivatePages) * PageSize }
+
+// SharedBytes returns the number of bytes shared with other tables.
+func (f Footprint) SharedBytes() int64 { return int64(f.SharedPages) * PageSize }
+
+func footprint(root *tableNode) Footprint {
+	var fp Footprint
+	var walk func(n *tableNode)
+	walk = func(n *tableNode) {
+		if n == nil {
+			return
+		}
+		if n.ref.Load() > 1 {
+			fp.SharedNodes++
+		} else {
+			fp.PrivateNodes++
+		}
+		if n.level == 0 {
+			for _, f := range n.ptes {
+				if f == nil {
+					continue
+				}
+				if f.ref.Load() > 1 {
+					fp.SharedPages++
+				} else {
+					fp.PrivatePages++
+				}
+			}
+			return
+		}
+		for _, k := range n.kids {
+			if k != nil {
+				walk(k)
+			}
+		}
+	}
+	walk(root)
+	return fp
+}

@@ -1,0 +1,47 @@
+package queens
+
+import (
+	"fmt"
+
+	"repro/internal/wam"
+)
+
+// PrologProgram is the classic select/attack n-queens formulation, the
+// program run on the Prolog comparator of §5.
+const PrologProgram = `
+queens(N, Qs) :- numlist(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    select(Q, Unplaced, Rest),
+    \+ attack(Q, Safe),
+    place(Rest, [Q|Safe], Qs).
+attack(X, Xs) :- attack_(X, 1, Xs).
+attack_(X, N, [Y|_]) :- X =:= Y + N.
+attack_(X, N, [Y|_]) :- X =:= Y - N.
+attack_(X, N, [_|Ys]) :- N1 is N + 1, attack_(X, N1, Ys).
+`
+
+// NewPrologMachine returns a machine loaded with the prelude and the
+// n-queens program.
+func NewPrologMachine() (*wam.Machine, error) {
+	db, err := wam.NewPreludeDB()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Consult(PrologProgram); err != nil {
+		return nil, err
+	}
+	return wam.NewMachine(db), nil
+}
+
+// PrologCount counts all n-queens solutions on the Prolog engine.
+func PrologCount(n int, maxCalls int64) (int, wam.Stats, error) {
+	m, err := NewPrologMachine()
+	if err != nil {
+		return 0, wam.Stats{}, err
+	}
+	m.MaxCalls = maxCalls
+	count, err := m.SolveQuery(fmt.Sprintf("queens(%d, Qs)", n),
+		func(map[string]string) bool { return true })
+	return count, m.Stats, err
+}

@@ -1,0 +1,138 @@
+// Package service implements the multi-path incremental solver service of
+// the paper's §3.2: clients hold opaque references to previously solved
+// problems; extending problem p with constraint q restores p's lightweight
+// snapshot, solves p∧q incrementally, and returns a new reference. The
+// snapshot tree is the service's store — siblings share all unmodified
+// state physically, so a thousand variants of one base problem cost far
+// less than a thousand copies.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+	"repro/internal/solver"
+)
+
+// stateFile is where the serialized solver lives inside each candidate.
+const stateFile = "/solver.state"
+
+// Result reports one Extend call.
+type Result struct {
+	// ID is the opaque reference to the new problem.
+	ID uint64
+	// Verdict is the solver's answer for the extended problem.
+	Verdict solver.Status
+	// Model is the satisfying assignment (Verdict == Sat), indexed by
+	// variable; index 0 unused.
+	Model []bool
+	// Learned is the number of retained learned clauses (diagnostics).
+	Learned int
+}
+
+// Service is a multi-path incremental SAT solver.
+type Service struct {
+	mu     sync.Mutex
+	tree   *snapshot.Tree
+	alloc  *mem.FrameAllocator
+	states map[uint64]*snapshot.State
+	nextID uint64
+}
+
+// New returns a service whose root problem (reference 0) is empty.
+func New() *Service {
+	s := &Service{
+		tree:   snapshot.NewTree(),
+		alloc:  mem.NewFrameAllocator(0),
+		states: map[uint64]*snapshot.State{},
+	}
+	// Root candidate: empty filesystem, empty solver.
+	as := mem.NewAddressSpace(s.alloc)
+	ctx := &snapshot.Context{Mem: as, FS: fs.New()}
+	s.states[0] = s.tree.Capture(ctx, nil)
+	ctx.Release()
+	s.nextID = 1
+	return s
+}
+
+// Extend solves states[id] ∧ clauses and parks the result behind a new
+// reference. The parent reference stays valid — callers can branch the
+// same base problem many ways (the "multi-path" in the paper's name).
+func (s *Service) Extend(id uint64, clauses [][]int) (Result, error) {
+	s.mu.Lock()
+	parent, ok := s.states[id]
+	if !ok {
+		s.mu.Unlock()
+		return Result{}, fmt.Errorf("service: unknown problem reference %d", id)
+	}
+	parent.Retain() // keep alive while we work unlocked
+	s.mu.Unlock()
+	defer parent.Release()
+
+	ctx := parent.Restore()
+	defer ctx.Release()
+
+	var sol *solver.Solver
+	if data, err := ctx.FS.ReadFile(stateFile); err == nil {
+		sol, err = solver.Unmarshal(data)
+		if err != nil {
+			return Result{}, fmt.Errorf("service: corrupt state for %d: %w", id, err)
+		}
+	} else {
+		sol = solver.New(0)
+	}
+	for _, cl := range clauses {
+		if err := sol.AddClause(cl...); err != nil {
+			return Result{}, err
+		}
+	}
+	verdict := sol.Solve(0)
+	res := Result{Verdict: verdict, Learned: sol.NumLearnts()}
+	if verdict == solver.Sat {
+		res.Model = sol.Model()
+	}
+	ctx.FS.WriteFile(stateFile, sol.Marshal())
+
+	s.mu.Lock()
+	res.ID = s.nextID
+	s.nextID++
+	s.states[res.ID] = s.tree.Capture(ctx, parent)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Release drops a problem reference.
+func (s *Service) Release(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[id]
+	if !ok {
+		return fmt.Errorf("service: unknown problem reference %d", id)
+	}
+	delete(s.states, id)
+	st.Release()
+	return nil
+}
+
+// Refs returns the number of live problem references.
+func (s *Service) Refs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.states)
+}
+
+// LiveSnapshots returns the snapshot tree's live count (diagnostics).
+func (s *Service) LiveSnapshots() int64 { return s.tree.Live() }
+
+// Close releases every reference.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, st := range s.states {
+		st.Release()
+		delete(s.states, id)
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func TestExtendChain(t *testing.T) {
+	s := New()
+	defer s.Close()
+
+	// p: (x1 ∨ x2)
+	r1, err := s.Extend(0, [][]int{{1, 2}})
+	if err != nil || r1.Verdict != solver.Sat {
+		t.Fatalf("p: %+v, %v", r1, err)
+	}
+	// p ∧ q: ¬x1 forces x2.
+	r2, err := s.Extend(r1.ID, [][]int{{-1}})
+	if err != nil || r2.Verdict != solver.Sat {
+		t.Fatalf("p∧q: %+v, %v", r2, err)
+	}
+	if !r2.Model[2] || r2.Model[1] {
+		t.Errorf("model = %v, want x2 ∧ ¬x1", r2.Model)
+	}
+	// p ∧ q ∧ ¬x2: unsat.
+	r3, err := s.Extend(r2.ID, [][]int{{-2}})
+	if err != nil || r3.Verdict != solver.Unsat {
+		t.Fatalf("p∧q∧r: %+v, %v", r3, err)
+	}
+}
+
+func TestMultiPathBranching(t *testing.T) {
+	s := New()
+	defer s.Close()
+	base, err := s.Extend(0, solver.Random3SAT(30, 60, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch the same solved base two incompatible ways: both must work,
+	// and the parent must remain intact for a third branch.
+	a, err := s.Extend(base.ID, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Extend(base.ID, [][]int{{-1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict == solver.Sat && b.Verdict == solver.Sat {
+		if a.Model[1] == b.Model[1] {
+			t.Error("branches did not diverge on x1")
+		}
+	}
+	c, err := s.Extend(base.ID, nil)
+	if err != nil || c.Verdict != base.Verdict {
+		t.Errorf("third branch verdict %v vs base %v (%v)", c.Verdict, base.Verdict, err)
+	}
+}
+
+func TestUnsatSticks(t *testing.T) {
+	s := New()
+	defer s.Close()
+	r1, _ := s.Extend(0, [][]int{{1}, {-1}})
+	if r1.Verdict != solver.Unsat {
+		t.Fatalf("verdict = %v", r1.Verdict)
+	}
+	r2, err := s.Extend(r1.ID, [][]int{{2}})
+	if err != nil || r2.Verdict != solver.Unsat {
+		t.Errorf("extension of unsat = %v, %v", r2.Verdict, err)
+	}
+}
+
+func TestUnknownRefAndRelease(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if _, err := s.Extend(999, nil); err == nil {
+		t.Error("unknown ref accepted")
+	}
+	r, _ := s.Extend(0, [][]int{{1}})
+	if err := s.Release(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(r.ID); err == nil {
+		t.Error("double release succeeded")
+	}
+	if _, err := s.Extend(r.ID, nil); err == nil {
+		t.Error("released ref still usable")
+	}
+}
+
+func TestCloseFreesEverything(t *testing.T) {
+	s := New()
+	r1, _ := s.Extend(0, [][]int{{1, 2}})
+	s.Extend(r1.ID, [][]int{{3}})
+	s.Extend(r1.ID, [][]int{{-3}})
+	if s.Refs() != 4 {
+		t.Errorf("refs = %d, want 4", s.Refs())
+	}
+	s.Close()
+	if s.Refs() != 0 || s.LiveSnapshots() != 0 {
+		t.Errorf("refs=%d live=%d after Close", s.Refs(), s.LiveSnapshots())
+	}
+}
+
+func TestLearnedClausesCarry(t *testing.T) {
+	s := New()
+	defer s.Close()
+	// A problem hard enough to learn something.
+	r1, err := s.Extend(0, solver.Pigeonhole(4)[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Extend(r1.ID, solver.Pigeonhole(4)[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Verdict != solver.Unsat {
+		t.Errorf("php4 = %v, want unsat", r2.Verdict)
+	}
+}

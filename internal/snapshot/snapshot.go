@@ -1,0 +1,160 @@
+// Package snapshot implements the paper's primary abstraction: the
+// lightweight immutable execution snapshot — a copy of the register file
+// plus immutable logical copies of the address space, the filesystem, and
+// the output stream, linked into a refcounted tree of partial candidates.
+//
+// Creation cost is O(1) in the size of the address space (the page-table
+// root is shared and frozen); restoration is likewise O(1) and returns a
+// mutable Context whose writes copy-on-write away from the snapshot. The
+// parent relationship encodes candidates space-efficiently: a child
+// physically shares every page it did not touch with its ancestors.
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Context is the mutable execution state of one candidate extension step:
+// what the libOS hands to a virtual CPU (or hosted step function) when it
+// schedules an extension for evaluation.
+type Context struct {
+	Mem  *mem.AddressSpace
+	FS   *fs.FS
+	Regs vm.Registers
+	Out  []byte // captured stdout/stderr of this path
+}
+
+// Release frees the context's resources.
+func (c *Context) Release() {
+	if c.Mem != nil {
+		c.Mem.Release()
+		c.Mem = nil
+	}
+	if c.FS != nil {
+		c.FS.Release()
+		c.FS = nil
+	}
+}
+
+// State is one partial candidate: a lightweight immutable snapshot.
+// All fields are frozen after capture. States are reference counted; the
+// holder of the last reference releases the underlying memory and files.
+type State struct {
+	id     uint64
+	depth  int
+	parent *State
+	tree   *Tree
+	refs   atomic.Int32
+
+	mem  *mem.AddressSpace // frozen CoW view (owned)
+	fsys *fs.Snapshot      // frozen file image (owned)
+	regs vm.Registers
+	out  []byte // output captured up to the snapshot point
+}
+
+// ID returns the snapshot's unique id within its tree.
+func (s *State) ID() uint64 { return s.id }
+
+// Depth returns the distance from the root candidate.
+func (s *State) Depth() int { return s.depth }
+
+// Parent returns the parent candidate (nil for the root).
+func (s *State) Parent() *State { return s.parent }
+
+// Regs returns the frozen register file.
+func (s *State) Regs() vm.Registers { return s.regs }
+
+// Out returns the frozen output buffer. Callers must not modify it.
+func (s *State) Out() []byte { return s.out }
+
+// FS returns the frozen file image. Callers must not mutate it.
+func (s *State) FS() *fs.Snapshot { return s.fsys }
+
+// Footprint reports page-level residency and sharing of this snapshot.
+func (s *State) Footprint() mem.Footprint { return s.mem.Footprint() }
+
+// Mem exposes the frozen address space for read-only inspection (solution
+// extraction, checkpoint baselines). Callers must not write through it.
+func (s *State) Mem() *mem.AddressSpace { return s.mem }
+
+// Retain adds a reference.
+func (s *State) Retain() *State {
+	s.refs.Add(1)
+	return s
+}
+
+// Release drops a reference; the last release frees the snapshot and drops
+// its reference on the parent. Chains release iteratively so very deep
+// snapshot trees (E8) cannot overflow the Go stack.
+func (s *State) Release() {
+	for s != nil {
+		if s.refs.Add(-1) != 0 {
+			return
+		}
+		s.mem.Release()
+		s.fsys.Release()
+		s.tree.live.Add(-1)
+		next := s.parent
+		s.parent = nil
+		s = next
+	}
+}
+
+// Restore materializes a fresh mutable Context whose initial state is
+// exactly this snapshot. O(1) in the address-space size.
+func (s *State) Restore() *Context {
+	out := make([]byte, len(s.out))
+	copy(out, s.out)
+	return &Context{
+		Mem:  s.mem.Fork(),
+		FS:   s.fsys.Materialize(),
+		Regs: s.regs,
+		Out:  out,
+	}
+}
+
+// Tree tracks snapshot identity and liveness statistics for one search.
+type Tree struct {
+	nextID  atomic.Uint64
+	live    atomic.Int64
+	created atomic.Int64
+}
+
+// NewTree returns an empty snapshot tree.
+func NewTree() *Tree { return &Tree{} }
+
+// Capture freezes ctx into a new snapshot whose parent is parent (which may
+// be nil for the root). The parent gains a reference; the returned snapshot
+// has one reference owned by the caller. ctx remains usable and mutable —
+// its future writes copy-on-write away from the captured state.
+func (t *Tree) Capture(ctx *Context, parent *State) *State {
+	out := make([]byte, len(ctx.Out))
+	copy(out, ctx.Out)
+	s := &State{
+		id:     t.nextID.Add(1),
+		tree:   t,
+		parent: parent,
+		mem:    ctx.Mem.Fork(),
+		fsys:   ctx.FS.Snapshot(),
+		regs:   ctx.Regs,
+		out:    out,
+	}
+	if parent != nil {
+		parent.Retain()
+		s.depth = parent.depth + 1
+	}
+	s.refs.Store(1)
+	t.live.Add(1)
+	t.created.Add(1)
+	return s
+}
+
+// Live returns the number of live snapshots.
+func (t *Tree) Live() int64 { return t.live.Load() }
+
+// Created returns the cumulative number of snapshots captured.
+func (t *Tree) Created() int64 { return t.created.Load() }

@@ -1,0 +1,196 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+func newCtx(t testing.TB, alloc *mem.FrameAllocator) *Context {
+	t.Helper()
+	as := mem.NewAddressSpace(alloc)
+	if err := as.Map(0x10000, 64*mem.PageSize, mem.PermRW, "data"); err != nil {
+		t.Fatal(err)
+	}
+	return &Context{Mem: as, FS: fs.New()}
+}
+
+func TestCaptureRestoreIsolation(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+
+	ctx.Regs.Set(vm.RAX, 42)
+	ctx.Out = append(ctx.Out, []byte("partial ")...)
+	if err := ctx.Mem.WriteU64(0x10000, 7); err != nil {
+		t.Fatal(err)
+	}
+	ctx.FS.WriteFile("/state", []byte("v1"))
+
+	snap := tree.Capture(ctx, nil)
+	defer snap.Release()
+
+	// Mutate the live context after capture.
+	ctx.Regs.Set(vm.RAX, 99)
+	ctx.Out = append(ctx.Out, []byte("more")...)
+	ctx.Mem.WriteU64(0x10000, 8)
+	ctx.FS.WriteFile("/state", []byte("v2"))
+
+	// Restore and verify every component was frozen.
+	re := snap.Restore()
+	defer re.Release()
+	if got := re.Regs.Get(vm.RAX); got != 42 {
+		t.Errorf("restored rax = %d, want 42", got)
+	}
+	if string(re.Out) != "partial " {
+		t.Errorf("restored out = %q", re.Out)
+	}
+	if v, _ := re.Mem.ReadU64(0x10000); v != 7 {
+		t.Errorf("restored mem = %d, want 7", v)
+	}
+	if b, _ := re.FS.ReadFile("/state"); string(b) != "v1" {
+		t.Errorf("restored file = %q, want v1", b)
+	}
+	// Restored context is itself isolated from the snapshot.
+	re.Mem.WriteU64(0x10000, 100)
+	re2 := snap.Restore()
+	defer re2.Release()
+	if v, _ := re2.Mem.ReadU64(0x10000); v != 7 {
+		t.Errorf("second restore sees first restore's write: %d", v)
+	}
+}
+
+func TestSnapshotTreeParents(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+
+	root := tree.Capture(ctx, nil)
+	ctx.Mem.WriteU64(0x10000, 1)
+	child := tree.Capture(ctx, root)
+	ctx.Mem.WriteU64(0x10008, 2)
+	grand := tree.Capture(ctx, child)
+
+	if root.Depth() != 0 || child.Depth() != 1 || grand.Depth() != 2 {
+		t.Errorf("depths = %d,%d,%d", root.Depth(), child.Depth(), grand.Depth())
+	}
+	if grand.Parent() != child || child.Parent() != root || root.Parent() != nil {
+		t.Error("parent links broken")
+	}
+	if root.ID() == child.ID() || child.ID() == grand.ID() {
+		t.Error("ids not unique")
+	}
+	if tree.Live() != 3 || tree.Created() != 3 {
+		t.Errorf("live=%d created=%d", tree.Live(), tree.Created())
+	}
+	// Releasing the externally held refs: parent chain keeps ancestors
+	// alive until the last descendant goes.
+	root.Release()
+	child.Release()
+	if tree.Live() != 3 {
+		t.Errorf("live after releasing held refs = %d, want 3 (chain alive)", tree.Live())
+	}
+	grand.Release()
+	if tree.Live() != 0 {
+		t.Errorf("live after final release = %d, want 0", tree.Live())
+	}
+}
+
+func TestDeepChainReleaseIterative(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+
+	const depth = 100_000
+	var prev *State
+	for i := 0; i < depth; i++ {
+		s := tree.Capture(ctx, prev)
+		if prev != nil {
+			prev.Release() // chain holds it
+		}
+		prev = s
+	}
+	if tree.Live() != depth {
+		t.Fatalf("live = %d", tree.Live())
+	}
+	// Must not overflow the stack.
+	prev.Release()
+	if tree.Live() != 0 {
+		t.Errorf("live after chain release = %d", tree.Live())
+	}
+}
+
+func TestSharingFootprint(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+	for i := uint64(0); i < 32; i++ {
+		if err := ctx.Mem.WriteU64(0x10000+i*mem.PageSize, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tree.Capture(ctx, nil)
+	defer snap.Release()
+	re := snap.Restore()
+	defer re.Release()
+	for i := uint64(0); i < 4; i++ {
+		re.Mem.WriteU64(0x10000+i*mem.PageSize, 100+i)
+	}
+	fp := re.Mem.Footprint()
+	if fp.PrivatePages != 4 || fp.SharedPages != 28 {
+		t.Errorf("footprint = %+v, want 4 private / 28 shared", fp)
+	}
+	// Frames: 32 original + 4 CoW copies.
+	if live := alloc.Live(); live != 36 {
+		t.Errorf("live frames = %d, want 36", live)
+	}
+}
+
+func TestCaptureIsCheapForLargeSpaces(t *testing.T) {
+	// Not a timing assertion — an allocation-shape assertion: capturing a
+	// snapshot of a space with many resident pages must not allocate frames.
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+	for i := uint64(0); i < 64; i++ {
+		ctx.Mem.WriteU64(0x10000+i*mem.PageSize, i)
+	}
+	before := alloc.Total()
+	snaps := make([]*State, 100)
+	for i := range snaps {
+		snaps[i] = tree.Capture(ctx, nil)
+	}
+	if got := alloc.Total() - before; got != 0 {
+		t.Errorf("capture allocated %d frames, want 0", got)
+	}
+	for _, s := range snaps {
+		s.Release()
+	}
+}
+
+func TestOutBufferNotAliased(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+	ctx.Out = append(ctx.Out, 'a')
+	snap := tree.Capture(ctx, nil)
+	defer snap.Release()
+	ctx.Out[0] = 'z'
+	if snap.Out()[0] != 'a' {
+		t.Error("snapshot output aliases live context buffer")
+	}
+	re := snap.Restore()
+	defer re.Release()
+	re.Out[0] = 'q'
+	if snap.Out()[0] != 'a' {
+		t.Error("restore output aliases snapshot buffer")
+	}
+}

@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format.
+func ParseDIMACS(r io.Reader) (nVars int, clauses [][]int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return 0, nil, fmt.Errorf("solver: bad problem line %q", line)
+			}
+			if nVars, err = strconv.Atoi(fields[2]); err != nil {
+				return 0, nil, fmt.Errorf("solver: bad var count: %v", err)
+			}
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return 0, nil, fmt.Errorf("solver: bad literal %q", f)
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, v)
+		}
+	}
+	if len(cur) > 0 {
+		clauses = append(clauses, cur)
+	}
+	if n := MaxVar(clauses); n > nVars {
+		nVars = n
+	}
+	return nVars, clauses, sc.Err()
+}
+
+// WriteDIMACS renders a CNF formula in DIMACS format.
+func WriteDIMACS(w io.Writer, nVars int, clauses [][]int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", nVars, len(clauses))
+	for _, cl := range clauses {
+		for _, l := range cl {
+			fmt.Fprintf(bw, "%d ", l)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}

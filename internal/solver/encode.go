@@ -1,0 +1,133 @@
+package solver
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Marshal serializes the solver's persistent state — problem clauses,
+// learned clauses, and saved phases — so a solved instance can live inside
+// a candidate's simulated memory or file image. This is what lets the
+// multi-path incremental solver service of §3.2 park "problem p, solved"
+// behind an opaque snapshot reference and later extend it with q.
+//
+// Layout (little-endian): magic, nVars, then clause sections, then phases.
+func (s *Solver) Marshal() []byte {
+	s.cancelUntil(0)
+	var buf []byte
+	put64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	put64(solverMagic)
+	put64(uint64(s.nVars))
+	ok := uint64(0)
+	if s.ok {
+		ok = 1
+	}
+	put64(ok)
+	writeClauses := func(cs [][]lit) {
+		put64(uint64(len(cs)))
+		for _, cl := range cs {
+			put64(uint64(len(cl)))
+			for _, l := range cl {
+				put64(uint64(int64(l.ext())))
+			}
+		}
+	}
+	writeClauses(s.clauses)
+	writeClauses(s.learnts)
+	// Level-0 facts (the trail bottom) and phases.
+	put64(uint64(len(s.trail)))
+	for _, l := range s.trail {
+		put64(uint64(int64(l.ext())))
+	}
+	for v := 1; v <= s.nVars; v++ {
+		put64(uint64(int64(s.phase[v])))
+	}
+	return buf
+}
+
+const solverMagic = 0x53415453_4e415053 // "SNAPSATS"
+
+// Unmarshal reconstructs a solver from Marshal output.
+func Unmarshal(data []byte) (*Solver, error) {
+	off := 0
+	get64 := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("solver: truncated state at %d", off)
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	magic, err := get64()
+	if err != nil || magic != solverMagic {
+		return nil, fmt.Errorf("solver: bad state magic")
+	}
+	nv, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	okFlag, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	s := New(int(nv))
+	readClauses := func(addLearnt bool) error {
+		n, err := get64()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			ln, err := get64()
+			if err != nil {
+				return err
+			}
+			ext := make([]int, ln)
+			for j := range ext {
+				v, err := get64()
+				if err != nil {
+					return err
+				}
+				ext[j] = int(int64(v))
+			}
+			if err := s.AddClause(ext...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := readClauses(false); err != nil {
+		return nil, err
+	}
+	// Learned clauses re-enter as ordinary clauses: they are logical
+	// consequences, so correctness is unaffected and their propagation
+	// power is preserved.
+	if err := readClauses(true); err != nil {
+		return nil, err
+	}
+	nFacts, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nFacts; i++ {
+		v, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddClause(int(int64(v))); err != nil {
+			return nil, err
+		}
+	}
+	for v := 1; v <= int(nv); v++ {
+		ph, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		if v < len(s.phase) {
+			s.phase[v] = int8(int64(ph))
+		}
+	}
+	if okFlag == 0 {
+		s.ok = false
+	}
+	return s, nil
+}

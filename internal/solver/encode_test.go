@@ -1,0 +1,68 @@
+package solver
+
+import "testing"
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(0)
+	clauses := Random3SAT(40, 120, 17)
+	for _, cl := range clauses {
+		s.AddClause(cl...)
+	}
+	v1 := s.Solve(0)
+
+	re, err := Unmarshal(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumVars() != s.NumVars() {
+		t.Errorf("vars %d vs %d", re.NumVars(), s.NumVars())
+	}
+	if got := re.Solve(0); got != v1 {
+		t.Errorf("verdict after round trip = %v, want %v", got, v1)
+	}
+	if v1 == Sat {
+		if err := Verify(re.Model(), clauses); err != nil {
+			t.Errorf("restored model invalid: %v", err)
+		}
+	}
+	// Extending the restored solver agrees with extending the original.
+	extra := Random3SAT(40, 30, 18)
+	for _, cl := range extra {
+		s.AddClause(cl...)
+		re.AddClause(cl...)
+	}
+	if a, b := s.Solve(0), re.Solve(0); a != b {
+		t.Errorf("post-extension verdicts diverge: %v vs %v", a, b)
+	}
+}
+
+func TestMarshalPreservesUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause(1)
+	s.AddClause(-1)
+	if s.Solve(0) != Unsat {
+		t.Fatal("setup")
+	}
+	re, err := Unmarshal(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Solve(0) != Unsat {
+		t.Error("unsat lost in round trip")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil data accepted")
+	}
+	if _, err := Unmarshal([]byte("garbage not long enough")); err == nil {
+		t.Error("garbage accepted")
+	}
+	s := New(3)
+	s.AddClause(1, 2)
+	data := s.Marshal()
+	if _, err := Unmarshal(data[:len(data)-4]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}

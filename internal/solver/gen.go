@@ -1,0 +1,102 @@
+package solver
+
+import "math/rand"
+
+// Random3SAT generates a random 3-SAT instance with nVars variables and
+// nClauses clauses, deterministically from seed. Clause/variable ratios
+// near 4.26 sit at the phase transition; the incremental experiments use
+// easier ratios so both arms finish.
+func Random3SAT(nVars, nClauses int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, 0, nClauses)
+	for len(out) < nClauses {
+		cl := make([]int, 0, 3)
+		used := map[int]bool{}
+		for len(cl) < 3 {
+			v := rng.Intn(nVars) + 1
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl = append(cl, v)
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// Pigeonhole generates the classic UNSAT pigeonhole principle PHP(n+1, n):
+// n+1 pigeons into n holes. Variable p*(n)+h+1 means "pigeon p in hole h".
+func Pigeonhole(holes int) [][]int {
+	v := func(p, h int) int { return p*holes + h + 1 }
+	var out [][]int
+	// Every pigeon in some hole.
+	for p := 0; p <= holes; p++ {
+		cl := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = v(p, h)
+		}
+		out = append(out, cl)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 <= holes; p1++ {
+			for p2 := p1 + 1; p2 <= holes; p2++ {
+				out = append(out, []int{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return out
+}
+
+// MaxVar returns the largest variable index in a clause set.
+func MaxVar(clauses [][]int) int {
+	m := 0
+	for _, cl := range clauses {
+		for _, l := range cl {
+			if l < 0 {
+				l = -l
+			}
+			if l > m {
+				m = l
+			}
+		}
+	}
+	return m
+}
+
+// BruteForce decides satisfiability by enumeration (≤ 24 vars), for
+// cross-checking the CDCL solver in property tests.
+func BruteForce(clauses [][]int) Status {
+	n := MaxVar(clauses)
+	if n > 24 {
+		panic("solver: brute force limited to 24 vars")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				if (mask>>(v-1))&1 == 1 == (l > 0) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return Sat
+		}
+	}
+	return Unsat
+}

@@ -1,0 +1,476 @@
+// Package solver implements a CDCL SAT solver with watched literals,
+// first-UIP conflict learning, phase saving, and activity-ordered
+// decisions: the stand-in for Z3 in the paper's incremental-solving
+// argument (§2). Clause addition is monotonic — exactly the p, then p∧q
+// pattern — so a solved instance extends incrementally: learned clauses and
+// saved phases carry over, which is the "leverage the intermediate data
+// structures of previously solved constraints" behaviour the paper's
+// lightweight snapshots capture wholesale.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Status is a solver verdict.
+type Status int8
+
+// Verdicts.
+const (
+	// Unknown: the conflict budget expired before a verdict.
+	Unknown Status = iota
+	// Sat: a satisfying assignment was found (see Model).
+	Sat
+	// Unsat: the clause set is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats counts solver work.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	Restarts     int64
+}
+
+// lit encoding: variable v (1-based) → 2v for +v, 2v+1 for ¬v.
+type lit int32
+
+func toLit(l int) lit {
+	if l > 0 {
+		return lit(2 * l)
+	}
+	return lit(-2*l + 1)
+}
+
+func (l lit) neg() lit      { return l ^ 1 }
+func (l lit) variable() int { return int(l >> 1) }
+func (l lit) sign() bool    { return l&1 == 0 } // true for positive
+func (l lit) ext() int {
+	if l.sign() {
+		return l.variable()
+	}
+	return -l.variable()
+}
+
+// clause reference: index into clauses (>=0) or learnts (enc -1-i).
+type cref int32
+
+const crefNone cref = -1 << 30
+
+type watch struct {
+	c       cref
+	blocker lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	nVars   int
+	clauses [][]lit
+	learnts [][]lit
+	ok      bool // false once an empty clause is derived at level 0
+
+	watches  [][]watch // indexed by lit
+	assign   []int8    // by var: 0 unset, +1 true, -1 false
+	level    []int32   // by var
+	reason   []cref    // by var
+	phase    []int8    // saved phase by var
+	activity []float64 // by var
+	varInc   float64
+
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	seen  []bool // scratch for conflict analysis
+	Stats Stats
+}
+
+// New returns a solver over variables 1..nVars (growable via AddVar).
+func New(nVars int) *Solver {
+	s := &Solver{ok: true, varInc: 1}
+	s.grow(nVars)
+	return s
+}
+
+// NumVars returns the current variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of retained learned clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+func (s *Solver) grow(nVars int) {
+	if nVars <= s.nVars {
+		return
+	}
+	s.nVars = nVars
+	for len(s.watches) < 2*nVars+2 {
+		s.watches = append(s.watches, nil)
+	}
+	for len(s.assign) < nVars+1 {
+		s.assign = append(s.assign, 0)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, crefNone)
+		s.phase = append(s.phase, -1)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+	}
+}
+
+// AddVar ensures variable v exists.
+func (s *Solver) AddVar(v int) { s.grow(v) }
+
+func (s *Solver) valueLit(l lit) int8 {
+	v := s.assign[l.variable()]
+	if v == 0 {
+		return 0
+	}
+	if l.sign() {
+		return v
+	}
+	return -v
+}
+
+// AddClause adds a clause of external literals (±var). It returns an error
+// on malformed input. Adding clauses resets the solver to decision level 0
+// but keeps learned clauses and phases (monotonic incrementality).
+func (s *Solver) AddClause(extLits ...int) error {
+	if !s.ok {
+		return nil // already UNSAT; additional clauses are irrelevant
+	}
+	s.cancelUntil(0)
+	cl := make([]lit, 0, len(extLits))
+	for _, e := range extLits {
+		if e == 0 {
+			return errors.New("solver: literal 0")
+		}
+		v := e
+		if v < 0 {
+			v = -v
+		}
+		s.grow(v)
+		cl = append(cl, toLit(e))
+	}
+	// Normalize: sort, dedupe, drop tautologies, drop false lits at L0.
+	sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+	out := cl[:0]
+	var prev lit = -1
+	for _, l := range cl {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.neg() {
+			return nil // tautology: x ∨ ¬x
+		}
+		switch s.valueLit(l) {
+		case 1:
+			return nil // satisfied at level 0
+		case -1:
+			continue // falsified at level 0: drop the literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	cl = out
+	switch len(cl) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		s.enqueue(cl[0], crefNone)
+		if s.propagate() != crefNone {
+			s.ok = false
+		}
+		return nil
+	}
+	s.attach(cref(len(s.clauses)), cl)
+	s.clauses = append(s.clauses, cl)
+	return nil
+}
+
+func (s *Solver) clauseAt(c cref) []lit {
+	if c >= 0 {
+		return s.clauses[c]
+	}
+	return s.learnts[-1-int(c)]
+}
+
+func (s *Solver) attach(c cref, cl []lit) {
+	s.watches[cl[0].neg()] = append(s.watches[cl[0].neg()], watch{c: c, blocker: cl[1]})
+	s.watches[cl[1].neg()] = append(s.watches[cl[1].neg()], watch{c: c, blocker: cl[0]})
+}
+
+func (s *Solver) enqueue(l lit, from cref) {
+	v := l.variable()
+	if l.sign() {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = -1
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause
+// reference or crefNone.
+func (s *Solver) propagate() cref {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict cref = crefNone
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if conflict != crefNone {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			if s.valueLit(w.blocker) == 1 {
+				kept = append(kept, w)
+				continue
+			}
+			cl := s.clauseAt(w.c)
+			// Ensure cl[1] is the falsified watch (p is ¬cl[i]).
+			if cl[0].neg() == p {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			if s.valueLit(cl[0]) == 1 {
+				kept = append(kept, watch{c: w.c, blocker: cl[0]})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for i := 2; i < len(cl); i++ {
+				if s.valueLit(cl[i]) != -1 {
+					cl[1], cl[i] = cl[i], cl[1]
+					s.watches[cl[1].neg()] = append(s.watches[cl[1].neg()], watch{c: w.c, blocker: cl[0]})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watch moved; drop from this list
+			}
+			kept = append(kept, w)
+			if s.valueLit(cl[0]) == -1 {
+				conflict = w.c // conflict
+			} else {
+				s.enqueue(cl[0], w.c) // unit
+			}
+		}
+		s.watches[p] = kept
+		if conflict != crefNone {
+			return conflict
+		}
+	}
+	return crefNone
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].variable()
+		s.phase[v] = s.assign[v] // phase saving
+		s.assign[v] = 0
+		s.reason[v] = crefNone
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP learning; returns the learned clause (with the
+// asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict cref) ([]lit, int) {
+	learned := []lit{0} // slot for the asserting literal
+	counter := 0
+	var p lit = -1
+	idx := len(s.trail) - 1
+
+	c := conflict
+	for {
+		cl := s.clauseAt(c)
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range cl[start:] {
+			v := q.variable()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Pick the next trail literal seen in the conflict graph.
+		for !s.seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.variable()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learned[0] = p.neg()
+	// Compute backjump level = max level among the other literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].variable()]) > back {
+			back = int(s.level[learned[i].variable()])
+		}
+	}
+	// Move a literal of the backjump level into watch position 1.
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].variable()]) == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	for i := 1; i < len(learned); i++ {
+		s.seen[learned[i].variable()] = false
+	}
+	return learned, back
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// Solve searches for a verdict within maxConflicts (0 = unlimited).
+func (s *Solver) Solve(maxConflicts int64) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != crefNone {
+		s.ok = false
+		return Unsat
+	}
+	conflicts := int64(0)
+	restartAt := int64(100)
+	for {
+		conflict := s.propagate()
+		if conflict != crefNone {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learned, back := s.analyze(conflict)
+			s.cancelUntil(back)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], crefNone)
+			} else {
+				c := cref(-1 - len(s.learnts))
+				s.learnts = append(s.learnts, learned)
+				s.attach(c, learned)
+				s.enqueue(learned[0], c)
+				s.Stats.Learned++
+			}
+			s.varInc *= 1.0 / 0.95
+			if maxConflicts > 0 && conflicts >= maxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if conflicts >= restartAt {
+				restartAt += restartAt / 2
+				s.Stats.Restarts++
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat // complete assignment
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := toLit(v)
+		if s.phase[v] == -1 {
+			l = l.neg()
+		}
+		s.enqueue(l, crefNone)
+	}
+}
+
+// Model returns the satisfying assignment after Sat: index = var, value =
+// assignment. Index 0 is unused.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.assign[v] == 1
+	}
+	return m
+}
+
+// Verify checks a model against a clause set (external literals).
+func Verify(model []bool, clauses [][]int) error {
+	for i, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v < len(model) && (l > 0) == model[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("solver: clause %d unsatisfied", i)
+		}
+	}
+	return nil
+}

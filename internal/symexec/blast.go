@@ -1,0 +1,339 @@
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// blaster lowers bitvector expressions to CNF over a solver instance —
+// the decision-procedure layer that stands in for Z3/KLEE's solver stack.
+//
+// Bits are represented as blit: 0 = constant false, 1 = constant true,
+// otherwise a DIMACS-style literal (±var) in the underlying SAT solver.
+type blit int
+
+const (
+	bFalse blit = 0
+	bTrue  blit = 1
+)
+
+func (b blit) isConst() bool { return b == bFalse || b == bTrue }
+
+type blaster struct {
+	s       *solver.Solver
+	nextVar int
+	memo    map[*Expr]*[64]blit
+	vars    map[string]*[64]blit // symbolic input bits
+	// SolverCalls is incremented by the owner per SAT query.
+}
+
+func newBlaster() *blaster {
+	// Solver variable 1 is never used: blit(1) is the bTrue constant.
+	return &blaster{
+		s:       solver.New(0),
+		nextVar: 2,
+		memo:    map[*Expr]*[64]blit{},
+		vars:    map[string]*[64]blit{},
+	}
+}
+
+func (bl *blaster) fresh() blit {
+	v := bl.nextVar
+	bl.nextVar++
+	bl.s.AddVar(v)
+	return blit(v)
+}
+
+func neg(b blit) blit {
+	switch b {
+	case bFalse:
+		return bTrue
+	case bTrue:
+		return bFalse
+	}
+	return -b
+}
+
+// clause emits a clause of blits, folding constants.
+func (bl *blaster) clause(lits ...blit) {
+	out := make([]int, 0, len(lits))
+	for _, l := range lits {
+		switch l {
+		case bTrue:
+			return // satisfied
+		case bFalse:
+			continue
+		default:
+			out = append(out, int(l))
+		}
+	}
+	if len(out) == 0 {
+		// Empty clause: force UNSAT via x ∧ ¬x on a fresh var.
+		v := bl.fresh()
+		bl.s.AddClause(int(v))
+		bl.s.AddClause(int(neg(v)))
+		return
+	}
+	bl.s.AddClause(out...)
+}
+
+// gates (Tseitin encodings). Each returns the output blit.
+
+func (bl *blaster) and2(a, b blit) blit {
+	if a == bFalse || b == bFalse {
+		return bFalse
+	}
+	if a == bTrue {
+		return b
+	}
+	if b == bTrue {
+		return a
+	}
+	o := bl.fresh()
+	bl.clause(neg(o), a)
+	bl.clause(neg(o), b)
+	bl.clause(o, neg(a), neg(b))
+	return o
+}
+
+func (bl *blaster) or2(a, b blit) blit {
+	return neg(bl.and2(neg(a), neg(b)))
+}
+
+func (bl *blaster) xor2(a, b blit) blit {
+	if a.isConst() && b.isConst() {
+		if a != b {
+			return bTrue
+		}
+		return bFalse
+	}
+	if a == bFalse {
+		return b
+	}
+	if b == bFalse {
+		return a
+	}
+	if a == bTrue {
+		return neg(b)
+	}
+	if b == bTrue {
+		return neg(a)
+	}
+	o := bl.fresh()
+	bl.clause(neg(o), a, b)
+	bl.clause(neg(o), neg(a), neg(b))
+	bl.clause(o, neg(a), b)
+	bl.clause(o, a, neg(b))
+	return o
+}
+
+// adder returns sum and carry-out of a+b+cin.
+func (bl *blaster) adder(a, b, cin blit) (sum, cout blit) {
+	sum = bl.xor2(bl.xor2(a, b), cin)
+	cout = bl.or2(bl.and2(a, b), bl.and2(cin, bl.xor2(a, b)))
+	return
+}
+
+// bits returns the 64 blits of e, memoized.
+func (bl *blaster) bits(e *Expr) *[64]blit {
+	if got, ok := bl.memo[e]; ok {
+		return got
+	}
+	var out [64]blit
+	switch e.Op {
+	case OpConst:
+		for i := 0; i < 64; i++ {
+			if e.K>>i&1 == 1 {
+				out[i] = bTrue
+			} else {
+				out[i] = bFalse
+			}
+		}
+	case OpVar:
+		v, ok := bl.vars[e.Name]
+		if !ok {
+			v = new([64]blit)
+			for i := range v {
+				v[i] = bl.fresh()
+			}
+			bl.vars[e.Name] = v
+		}
+		out = *v
+	case OpNot:
+		a := bl.bits(e.A)
+		for i := range out {
+			out[i] = neg(a[i])
+		}
+	case OpAnd, OpOr, OpXor:
+		a, b := bl.bits(e.A), bl.bits(e.B)
+		for i := range out {
+			switch e.Op {
+			case OpAnd:
+				out[i] = bl.and2(a[i], b[i])
+			case OpOr:
+				out[i] = bl.or2(a[i], b[i])
+			default:
+				out[i] = bl.xor2(a[i], b[i])
+			}
+		}
+	case OpAdd, OpSub:
+		a, b := bl.bits(e.A), bl.bits(e.B)
+		carry := bFalse
+		bb := *b
+		if e.Op == OpSub { // a - b = a + ~b + 1
+			for i := range bb {
+				bb[i] = neg(bb[i])
+			}
+			carry = bTrue
+		}
+		for i := 0; i < 64; i++ {
+			out[i], carry = bl.adder(a[i], bb[i], carry)
+		}
+	case OpShl:
+		a := bl.bits(e.A)
+		for i := range out {
+			out[i] = bFalse
+		}
+		for i := int(e.K); i < 64; i++ {
+			out[i] = a[i-int(e.K)]
+		}
+	case OpShr:
+		a := bl.bits(e.A)
+		for i := range out {
+			out[i] = bFalse
+		}
+		for i := 0; i < 64-int(e.K); i++ {
+			out[i] = a[i+int(e.K)]
+		}
+	case OpMulK:
+		// Shift-add over the set bits of K.
+		acc := bl.bits(Const(0))
+		a := bl.bits(e.A)
+		current := *a
+		accv := *acc
+		for bit := 0; bit < 64; bit++ {
+			if e.K>>bit&1 == 1 {
+				carry := bFalse
+				var next [64]blit
+				for i := 0; i < 64; i++ {
+					next[i], carry = bl.adder(accv[i], current[i], carry)
+				}
+				accv = next
+			}
+			// current <<= 1 (shift from the top down: in-place)
+			for i := 63; i >= 1; i-- {
+				current[i] = current[i-1]
+			}
+			current[0] = bFalse
+		}
+		out = accv
+	default:
+		panic(fmt.Sprintf("symexec: blast of op %d", e.Op))
+	}
+	p := new([64]blit)
+	*p = out
+	bl.memo[e] = p
+	return p
+}
+
+// condBit returns the blit representing cond (before Neg).
+func (bl *blaster) condBit(c Cond) blit {
+	a, b := bl.bits(c.A), bl.bits(c.B)
+	var o blit
+	switch c.Op {
+	case CondEq:
+		o = bTrue
+		for i := 0; i < 64; i++ {
+			o = bl.and2(o, neg(bl.xor2(a[i], b[i])))
+		}
+	case CondULt, CondULe:
+		// a < b  ⇔  ¬carryOut(a + ~b + 1); a <= b ⇔ a < b+... use
+		// a <= b ⇔ ¬(b < a).
+		lt := func(x, y *[64]blit) blit {
+			carry := bTrue
+			for i := 0; i < 64; i++ {
+				_, carry = bl.adder(x[i], neg(y[i]), carry)
+			}
+			return neg(carry)
+		}
+		if c.Op == CondULt {
+			o = lt(a, b)
+		} else {
+			o = neg(lt(b, a))
+		}
+	case CondSLt, CondSLe:
+		// Signed compare: flip sign bits and compare unsigned.
+		af, bf := *a, *b
+		af[63] = neg(af[63])
+		bf[63] = neg(bf[63])
+		lt := func(x, y *[64]blit) blit {
+			carry := bTrue
+			for i := 0; i < 64; i++ {
+				_, carry = bl.adder(x[i], neg(y[i]), carry)
+			}
+			return neg(carry)
+		}
+		if c.Op == CondSLt {
+			o = lt(&af, &bf)
+		} else {
+			o = neg(lt(&bf, &af))
+		}
+	}
+	if c.Neg {
+		o = neg(o)
+	}
+	return o
+}
+
+// assert adds cond as a hard constraint.
+func (bl *blaster) assert(c Cond) {
+	bl.clause(bl.condBit(c))
+}
+
+// CheckResult is a satisfiability verdict with a witness.
+type CheckResult struct {
+	Status solver.Status
+	// Inputs assigns each symbolic input a concrete value (Sat only).
+	Inputs map[string]uint64
+	// Conflicts is the solver effort spent.
+	Conflicts int64
+}
+
+// Check decides the conjunction of conds, returning a witness when SAT.
+// maxConflicts bounds solver effort (0 = unlimited).
+func Check(conds []Cond, maxConflicts int64) CheckResult {
+	bl := newBlaster()
+	for _, c := range conds {
+		if v, ok := c.Concrete(); ok {
+			if !v {
+				return CheckResult{Status: solver.Unsat}
+			}
+			continue
+		}
+		bl.assert(c)
+	}
+	st := bl.s.Solve(maxConflicts)
+	res := CheckResult{Status: st, Conflicts: bl.s.Stats.Conflicts}
+	if st == solver.Sat {
+		model := bl.s.Model()
+		res.Inputs = map[string]uint64{}
+		for name, bits := range bl.vars {
+			var v uint64
+			for i := 0; i < 64; i++ {
+				b := bits[i]
+				switch {
+				case b == bTrue:
+					v |= 1 << i
+				case b == bFalse:
+				case b > 0 && int(b) < len(model) && model[b]:
+					v |= 1 << i
+				case b < 0 && int(-b) < len(model) && !model[-b]:
+					v |= 1 << i
+				}
+			}
+			res.Inputs[name] = v
+		}
+	}
+	return res
+}

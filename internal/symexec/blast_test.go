@@ -1,0 +1,239 @@
+package symexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func TestExprFolding(t *testing.T) {
+	x := Fresh("x")
+	if v, ok := Add(Const(2), Const(3)).IsConst(); !ok || v != 5 {
+		t.Error("const add did not fold")
+	}
+	if Add(x, Const(0)) != x {
+		t.Error("x+0 != x")
+	}
+	if Sub(x, x).Op != OpConst {
+		t.Error("x-x did not fold to 0")
+	}
+	if v, _ := And(x, Const(0)).IsConst(); v != 0 {
+		t.Error("x&0 != 0")
+	}
+	if And(x, Const(^uint64(0))) != x {
+		t.Error("x&~0 != x")
+	}
+	if MulK(x, 1) != x {
+		t.Error("x*1 != x")
+	}
+	if Shl(x, 0) != x {
+		t.Error("x<<0 != x")
+	}
+	if v, _ := Shr(Const(0x100), 4).IsConst(); v != 0x10 {
+		t.Error("const shr")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	x, y := Fresh("x"), Fresh("y")
+	e := Add(MulK(x, 3), Xor(y, Const(0xff)))
+	in := map[string]uint64{"x": 7, "y": 0x0f}
+	if got := e.Eval(in); got != 21+(0x0f^0xff) {
+		t.Errorf("eval = %d", got)
+	}
+}
+
+func TestCondConcrete(t *testing.T) {
+	c := Cond{Op: CondULt, A: Const(3), B: Const(5)}
+	v, ok := c.Concrete()
+	if !ok || !v {
+		t.Error("3 <u 5 not concrete-true")
+	}
+	v, _ = c.Negate().Concrete()
+	if v {
+		t.Error("negation wrong")
+	}
+	sym := Cond{Op: CondEq, A: Fresh("x"), B: Const(1)}
+	if _, ok := sym.Concrete(); ok {
+		t.Error("symbolic cond claimed concrete")
+	}
+	// Signed comparison.
+	c = Cond{Op: CondSLt, A: Const(^uint64(0)), B: Const(1)} // -1 < 1
+	if v, _ := c.Concrete(); !v {
+		t.Error("-1 <s 1 false")
+	}
+	c = Cond{Op: CondULt, A: Const(^uint64(0)), B: Const(1)} // max <u 1
+	if v, _ := c.Concrete(); v {
+		t.Error("max <u 1 true")
+	}
+}
+
+func checkSat(t *testing.T, conds []Cond) CheckResult {
+	t.Helper()
+	res := Check(conds, 0)
+	if res.Status == solver.Sat {
+		// Every witness must actually satisfy the constraints.
+		for _, c := range conds {
+			if !c.Eval(res.Inputs) {
+				t.Fatalf("witness %v violates %v", res.Inputs, c)
+			}
+		}
+	}
+	return res
+}
+
+func TestCheckSimpleEquality(t *testing.T) {
+	x := Fresh("x")
+	res := checkSat(t, []Cond{{Op: CondEq, A: Add(x, Const(1)), B: Const(10)}})
+	if res.Status != solver.Sat || res.Inputs["x"] != 9 {
+		t.Errorf("x+1==10: %v %v", res.Status, res.Inputs)
+	}
+}
+
+func TestCheckUnsat(t *testing.T) {
+	x := Fresh("x")
+	res := Check([]Cond{
+		{Op: CondULt, A: x, B: Const(2)},
+		{Op: CondULt, A: Const(5), B: x},
+	}, 0)
+	if res.Status != solver.Unsat {
+		t.Errorf("x<2 ∧ 5<x = %v", res.Status)
+	}
+}
+
+func TestCheckMulK(t *testing.T) {
+	x := Fresh("x")
+	res := checkSat(t, []Cond{
+		{Op: CondEq, A: MulK(x, 3), B: Const(12)},
+		{Op: CondULt, A: x, B: Const(100)},
+	})
+	if res.Status != solver.Sat {
+		t.Fatalf("3x==12: %v", res.Status)
+	}
+	if res.Inputs["x"]*3 != 12 {
+		t.Errorf("witness x = %d", res.Inputs["x"])
+	}
+}
+
+func TestCheckSigned(t *testing.T) {
+	x := Fresh("x")
+	// x <s 0 ∧ x >u 100: negative as signed, large as unsigned — any
+	// negative 64-bit value works.
+	res := checkSat(t, []Cond{
+		{Op: CondSLt, A: x, B: Const(0)},
+		{Op: CondULt, A: Const(100), B: x},
+	})
+	if res.Status != solver.Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if int64(res.Inputs["x"]) >= 0 {
+		t.Errorf("witness not negative: %#x", res.Inputs["x"])
+	}
+}
+
+func TestCheckShiftAndMask(t *testing.T) {
+	x := Fresh("x")
+	// ((x >> 8) & 0xff) == 0x42 ∧ (x & 0xff) == 0x43
+	res := checkSat(t, []Cond{
+		{Op: CondEq, A: And(Shr(x, 8), Const(0xff)), B: Const(0x42)},
+		{Op: CondEq, A: And(x, Const(0xff)), B: Const(0x43)},
+	})
+	if res.Status != solver.Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	v := res.Inputs["x"]
+	if (v>>8)&0xff != 0x42 || v&0xff != 0x43 {
+		t.Errorf("witness %#x", v)
+	}
+}
+
+func TestCheckXorSubNot(t *testing.T) {
+	x, y := Fresh("x"), Fresh("y")
+	// For odd x, x-1 flips only the low bit, so x^y==1 ∧ x-y==1 ∧ x odd
+	// is satisfiable; demanding x^y==0xdead instead would be UNSAT.
+	res := checkSat(t, []Cond{
+		{Op: CondEq, A: Xor(x, y), B: Const(1)},
+		{Op: CondEq, A: Sub(x, y), B: Const(1)},
+		{Op: CondEq, A: And(Not(x), Const(1)), B: Const(0)}, // x odd
+	})
+	if res.Status != solver.Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	unsat := Check([]Cond{
+		{Op: CondEq, A: Xor(x, y), B: Const(0xdead)},
+		{Op: CondEq, A: Sub(x, y), B: Const(1)},
+		{Op: CondEq, A: And(Not(x), Const(1)), B: Const(0)},
+	}, 0)
+	if unsat.Status != solver.Unsat {
+		t.Errorf("xor=0xdead variant = %v, want unsat", unsat.Status)
+	}
+}
+
+// TestQuickBlastMatchesEval cross-checks the bit-blaster against direct
+// expression evaluation on random expressions and inputs.
+func TestQuickBlastMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := Fresh("x"), Fresh("y")
+	randExpr := func() *Expr {
+		e := x
+		for i := 0; i < rng.Intn(5)+1; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				e = Add(e, y)
+			case 1:
+				e = Sub(e, Const(uint64(rng.Intn(1000))))
+			case 2:
+				e = And(e, Const(rng.Uint64()))
+			case 3:
+				e = Or(e, y)
+			case 4:
+				e = Xor(e, Const(rng.Uint64()))
+			case 5:
+				e = Shl(e, uint64(rng.Intn(16)))
+			case 6:
+				e = Shr(e, uint64(rng.Intn(16)))
+			case 7:
+				e = MulK(e, uint64(rng.Intn(7)+1))
+			}
+		}
+		return e
+	}
+	for trial := 0; trial < 25; trial++ {
+		e := randExpr()
+		xv, yv := rng.Uint64(), rng.Uint64()
+		want := e.Eval(map[string]uint64{"x": xv, "y": yv})
+		// Constrain x, y to the chosen values and e to its evaluation:
+		// must be SAT. Then constrain e != evaluation: must be UNSAT.
+		base := []Cond{
+			{Op: CondEq, A: x, B: Const(xv)},
+			{Op: CondEq, A: y, B: Const(yv)},
+		}
+		sat := Check(append(base, Cond{Op: CondEq, A: e, B: Const(want)}), 0)
+		if sat.Status != solver.Sat {
+			t.Fatalf("trial %d: e == eval(e) unsat (%s)", trial, e)
+		}
+		unsat := Check(append(base, Cond{Op: CondEq, A: e, B: Const(want), Neg: true}), 0)
+		if unsat.Status != solver.Unsat {
+			t.Fatalf("trial %d: e != eval(e) sat (%s)", trial, e)
+		}
+	}
+}
+
+func TestCheckULeSLe(t *testing.T) {
+	x := Fresh("x")
+	res := checkSat(t, []Cond{
+		{Op: CondULe, A: x, B: Const(10)},
+		{Op: CondULe, A: Const(10), B: x},
+	})
+	if res.Status != solver.Sat || res.Inputs["x"] != 10 {
+		t.Errorf("ULe sandwich: %v %v", res.Status, res.Inputs)
+	}
+	res2 := checkSat(t, []Cond{
+		{Op: CondSLe, A: x, B: Const(0)},
+		{Op: CondSLe, A: Const(0), B: x},
+	})
+	if res2.Status != solver.Sat || res2.Inputs["x"] != 0 {
+		t.Errorf("SLe sandwich: %v %v", res2.Status, res2.Inputs)
+	}
+}

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mem"
+)
+
+// Instr is one decoded SVX64 instruction, the form consumed by analysis
+// tools (the symbolic executor) that need instruction semantics without the
+// concrete interpreter loop.
+type Instr struct {
+	Op    Opcode
+	R0    Reg    // dst / src register (first operand)
+	R1    Reg    // src / base register
+	R2    Reg    // index register (indexed addressing)
+	Scale uint8  // index scale (indexed addressing)
+	Imm   uint64 // imm64, sign-extended imm32/disp32, or branch target
+	Len   int    // encoded length in bytes
+}
+
+// Target returns the absolute branch target (Imm) for rel-encoded ops.
+func (in Instr) Target() uint64 { return in.Imm }
+
+// Next returns the address of the following instruction.
+func (in Instr) Next(pc uint64) uint64 { return pc + uint64(in.Len) }
+
+// DecodeAt decodes the instruction at pc. Branch targets are resolved to
+// absolute addresses. It returns a mem fault or an *Trap-worthy invalid
+// opcode as an error.
+func DecodeAt(as *mem.AddressSpace, pc uint64) (Instr, error) {
+	var op [1]byte
+	if err := as.FetchAt(op[:], pc); err != nil {
+		return Instr{}, err
+	}
+	opcode := Opcode(op[0])
+	info, ok := instrTable[opcode]
+	if !ok {
+		return Instr{Op: opcode, Len: 1}, &InvalidOpcodeError{PC: pc, Op: opcode}
+	}
+	n := operandLen(info.Enc)
+	var buf [MaxInstrLen - 1]byte
+	if n > 0 {
+		if err := as.FetchAt(buf[:n], pc+1); err != nil {
+			return Instr{}, err
+		}
+	}
+	in := Instr{Op: opcode, Len: 1 + n}
+	next := pc + uint64(in.Len)
+	imm32 := func(off int) uint64 {
+		return uint64(int64(int32(binary.LittleEndian.Uint32(buf[off : off+4]))))
+	}
+	switch info.Enc {
+	case encNone:
+	case encR:
+		in.R0 = Reg(buf[0] & 0x0f)
+	case encRR:
+		in.R0, in.R1 = Reg(buf[0]&0x0f), Reg(buf[1]&0x0f)
+	case encRI:
+		in.R0 = Reg(buf[0] & 0x0f)
+		in.Imm = binary.LittleEndian.Uint64(buf[1:9])
+	case encRI32:
+		in.R0 = Reg(buf[0] & 0x0f)
+		in.Imm = imm32(1)
+	case encMem:
+		in.R0, in.R1 = Reg(buf[0]&0x0f), Reg(buf[1]&0x0f)
+		in.Imm = imm32(2)
+	case encIdx:
+		in.R0, in.R1, in.R2 = Reg(buf[0]&0x0f), Reg(buf[1]&0x0f), Reg(buf[2]&0x0f)
+		in.Scale = buf[3]
+		in.Imm = imm32(4)
+	case encRel:
+		in.Imm = next + imm32(0)
+	}
+	return in, nil
+}
+
+// InvalidOpcodeError reports an undefined encoding to decoder callers.
+type InvalidOpcodeError struct {
+	PC uint64
+	Op Opcode
+}
+
+func (e *InvalidOpcodeError) Error() string {
+	return "vm: invalid opcode at " + fmtHex(e.PC)
+}
+
+func fmtHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := [18]byte{'0', 'x'}
+	i := 2
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := byte(v >> uint(shift) & 0xf)
+		if d != 0 || started || shift == 0 {
+			buf[i] = digits[d]
+			i++
+			started = true
+		}
+	}
+	return string(buf[:i])
+}

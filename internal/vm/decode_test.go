@@ -1,0 +1,212 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// loadText assembles src and returns the address space plus text bounds.
+func loadText(t *testing.T, src string) (*mem.AddressSpace, uint64, uint64) {
+	t.Helper()
+	b, err := guest.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.Link(guest.CodeBase, guest.DataBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, _, err := guest.Load(img, mem.NewFrameAllocator(0), guest.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end uint64
+	for _, seg := range img.Segments {
+		if seg.Name == "text" {
+			end = seg.Addr + uint64(len(seg.Data))
+		}
+	}
+	return as, guest.CodeBase, end
+}
+
+// TestDecodeMatchesEncoding decodes every instruction form the assembler
+// can emit and checks fields — a cross-check between the interpreter's
+// inline decoder and DecodeAt (used by the symbolic executor).
+func TestDecodeMatchesEncoding(t *testing.T) {
+	as, start, end := loadText(t, `
+_start:
+    mov rax, 0x1122334455667788
+    mov rbx, rcx
+    load rdx, [rsi+16]
+    store rdx, [rsi-8]
+    loadb r8, [r9+1]
+    storeb r8, [r9]
+    lea r10, [r11+256]
+    loadx r12, [r13+r14*8+32]
+    storex r12, [r13+r14*4]
+    add rax, 42
+    sub rax, rbx
+    cmp rax, -1
+    test rax, rbx
+    jne _start
+    call _start
+    push r15
+    pop r15
+    neg rax
+    syscall
+    ret
+    hlt
+    nop
+`)
+	defer as.Release()
+
+	type want struct {
+		op   vm.Opcode
+		desc string
+	}
+	wants := []want{
+		{vm.OpMovRI, "mov rax, 0x1122334455667788"},
+		{vm.OpMovRR, "mov rbx, rcx"},
+		{vm.OpLoad, "load rdx, [rsi+16]"},
+		{vm.OpStore, "store rdx, [rsi-8]"},
+		{vm.OpLoadB, "loadb r8, [r9+1]"},
+		{vm.OpStorB, "storeb r8, [r9]"},
+		{vm.OpLea, "lea r10, [r11+256]"},
+		{vm.OpLoadX, "loadx r12, [r13+r14*8+32]"},
+		{vm.OpStorX, "storex r12, [r13+r14*4]"},
+		{vm.OpAddRI, "add rax, 42"},
+		{vm.OpSubRR, "sub rax, rbx"},
+		{vm.OpCmpRI, "cmp rax, -1"},
+		{vm.OpTestRR, "test rax, rbx"},
+		{vm.OpJne, ""},
+		{vm.OpCall, ""},
+		{vm.OpPush, "push r15"},
+		{vm.OpPop, "pop r15"},
+		{vm.OpNeg, "neg rax"},
+		{vm.OpSyscall, "syscall"},
+		{vm.OpRet, "ret"},
+		{vm.OpHlt, "hlt"},
+		{vm.OpNop, "nop"},
+	}
+	pc := start
+	for i, w := range wants {
+		in, err := vm.DecodeAt(as, pc)
+		if err != nil {
+			t.Fatalf("instr %d at %#x: %v", i, pc, err)
+		}
+		if in.Op != w.op {
+			t.Fatalf("instr %d: op = %v, want %v", i, in.Op, w.op)
+		}
+		if w.desc != "" {
+			if got := vm.Disasm(in); got != w.desc {
+				t.Errorf("instr %d: disasm = %q, want %q", i, got, w.desc)
+			}
+		}
+		pc = in.Next(pc)
+	}
+	if pc != end {
+		t.Errorf("decode walked to %#x, text ends at %#x", pc, end)
+	}
+}
+
+func TestDecodeBranchTargets(t *testing.T) {
+	as, start, _ := loadText(t, `
+_start:
+    jmp target
+    nop
+target:
+    hlt
+`)
+	defer as.Release()
+	in, err := vm.DecodeAt(as, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jmp is 5 bytes, nop 1: target at start+6.
+	if in.Target() != start+6 {
+		t.Errorf("target = %#x, want %#x", in.Target(), start+6)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	as := mem.NewAddressSpace(mem.NewFrameAllocator(0))
+	defer as.Release()
+	if err := as.Map(0x1000, mem.PageSize, mem.PermRX, "zero"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := vm.DecodeAt(as, 0x1000) // opcode 0x00
+	if _, ok := err.(*vm.InvalidOpcodeError); !ok {
+		t.Errorf("err = %v, want InvalidOpcodeError", err)
+	}
+	_, err = vm.DecodeAt(as, 0x100000) // unmapped
+	if _, ok := mem.IsFault(err); !ok {
+		t.Errorf("err = %v, want fault", err)
+	}
+}
+
+// TestDisasmRoundTrip disassembles a program and re-assembles the listing,
+// checking the decoders and the assembler agree byte-for-byte on the ISA.
+func TestDisasmRoundTrip(t *testing.T) {
+	src := `
+_start:
+    mov rax, 500
+    mov rdi, 8
+    syscall
+    cmp rax, 4
+    jl _start
+    loadx rbx, [rsi+rcx*8+16]
+    add rbx, 7
+    hlt
+`
+	as, start, end := loadText(t, src)
+	defer as.Release()
+	listing := vm.DisasmRange(as, start, end)
+	if !strings.Contains(listing, "syscall") || !strings.Contains(listing, "loadx rbx, [rsi+rcx*8+16]") {
+		t.Fatalf("listing:\n%s", listing)
+	}
+	// Strip addresses, replace branch targets with a label, re-assemble.
+	var rebuilt strings.Builder
+	rebuilt.WriteString("_start:\n")
+	for _, line := range strings.Split(strings.TrimSpace(listing), "\n") {
+		_, ins, ok := strings.Cut(line, ": ")
+		if !ok {
+			t.Fatalf("bad listing line %q", line)
+		}
+		if strings.HasPrefix(ins, "jl ") {
+			ins = "jl _start"
+		}
+		rebuilt.WriteString(ins + "\n")
+	}
+	b2, err := guest.Assemble(rebuilt.String())
+	if err != nil {
+		t.Fatalf("re-assemble:\n%s\n%v", rebuilt.String(), err)
+	}
+	img2, err := b2.Link(guest.CodeBase, guest.DataBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as2, _, err := guest.Load(img2, mem.NewFrameAllocator(0), guest.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as2.Release()
+	// Byte-for-byte comparison of the two text segments.
+	n := int(end - start)
+	b1 := make([]byte, n)
+	b2b := make([]byte, n)
+	if err := as.FetchAt(b1, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := as2.FetchAt(b2b, start); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i] != b2b[i] {
+			t.Fatalf("byte %d differs: %#x vs %#x\nlisting:\n%s", i, b1[i], b2b[i], listing)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Disasm renders one decoded instruction in the assembler's input syntax,
+// so Disasm(DecodeAt(...)) output re-assembles to the same bytes. pc is
+// needed only to render branch targets as absolute addresses.
+func Disasm(in Instr) string {
+	info, ok := instrTable[in.Op]
+	if !ok {
+		return fmt.Sprintf(".byte %#02x", byte(in.Op))
+	}
+	memStr := func() string {
+		var sb strings.Builder
+		sb.WriteByte('[')
+		sb.WriteString(in.R1.String())
+		if d := int64(in.Imm); d != 0 {
+			fmt.Fprintf(&sb, "%+d", d)
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
+	idxStr := func() string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "[%s+%s*%d", in.R1, in.R2, in.Scale)
+		if d := int64(in.Imm); d != 0 {
+			fmt.Fprintf(&sb, "%+d", d)
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
+	switch info.Enc {
+	case encNone:
+		return info.Name
+	case encR:
+		return fmt.Sprintf("%s %s", info.Name, in.R0)
+	case encRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.R0, in.R1)
+	case encRI:
+		return fmt.Sprintf("%s %s, %#x", info.Name, in.R0, in.Imm)
+	case encRI32:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.R0, int64(in.Imm))
+	case encMem:
+		if in.Op == OpStore || in.Op == OpStorB {
+			return fmt.Sprintf("%s %s, %s", info.Name, in.R0, memStr())
+		}
+		return fmt.Sprintf("%s %s, %s", info.Name, in.R0, memStr())
+	case encIdx:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.R0, idxStr())
+	case encRel:
+		return fmt.Sprintf("%s %#x", info.Name, in.Imm)
+	}
+	return info.Name
+}
+
+// DisasmRange renders the instructions in [start, end), one per line with
+// addresses — the objdump view used when debugging guest images.
+func DisasmRange(as *mem.AddressSpace, start, end uint64) string {
+	var sb strings.Builder
+	for pc := start; pc < end; {
+		in, err := DecodeAt(as, pc)
+		if err != nil {
+			fmt.Fprintf(&sb, "%#08x: <%v>\n", pc, err)
+			pc++
+			continue
+		}
+		fmt.Fprintf(&sb, "%#08x: %s\n", pc, Disasm(in))
+		pc = in.Next(pc)
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+// Package vm implements SVX64, the simulated CPU that candidate extension
+// steps execute on. It stands in for x86-64 under VT-x in the paper's
+// prototype: a 16-register machine with an x86-like flags model, a stack,
+// and a SYSCALL trap, interpreting byte-encoded instructions fetched from a
+// paged mem.AddressSpace. Guest state is exactly (registers, memory) — the
+// two things a lightweight snapshot captures.
+package vm
+
+import "fmt"
+
+// Reg names one of the 16 general-purpose registers. The numbering follows
+// the x86-64 convention so the paper's calling discussion maps one-to-one.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// NumRegs is the register-file size.
+	NumRegs
+)
+
+var regNames = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// RegByName resolves an assembler register name (e.g. "rax", "r12").
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// Flag bits in Registers.Flags, mirroring RFLAGS semantics.
+const (
+	FlagZF uint64 = 1 << 0 // zero
+	FlagSF uint64 = 1 << 1 // sign
+	FlagCF uint64 = 1 << 2 // carry (unsigned overflow)
+	FlagOF uint64 = 1 << 3 // overflow (signed overflow)
+)
+
+// Registers is the complete architectural register file. It is a plain
+// value type: copying it is exactly the "copy of the register file" a
+// lightweight snapshot takes.
+type Registers struct {
+	GPR   [NumRegs]uint64
+	RIP   uint64
+	Flags uint64
+}
+
+// Get returns the value of r.
+func (rs *Registers) Get(r Reg) uint64 { return rs.GPR[r] }
+
+// Set stores v into r.
+func (rs *Registers) Set(r Reg, v uint64) { rs.GPR[r] = v }
+
+func (rs *Registers) String() string {
+	return fmt.Sprintf("rip=%#x rax=%#x rsp=%#x flags=%#x",
+		rs.RIP, rs.GPR[RAX], rs.GPR[RSP], rs.Flags)
+}
+
+// Syscall argument convention (System V-like): number in RAX, arguments in
+// RDI, RSI, RDX, R10; result in RAX.
+const (
+	SysNumReg  = RAX
+	SysArg0Reg = RDI
+	SysArg1Reg = RSI
+	SysArg2Reg = RDX
+	SysArg3Reg = R10
+	SysRetReg  = RAX
+)

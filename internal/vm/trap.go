@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// TrapKind classifies why the interpreter stopped. Traps are the VM-exit
+// analogue: control transfers from guest code to the libOS, which decides
+// how to proceed.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	// TrapSyscall: the guest executed SYSCALL. Registers hold the request.
+	TrapSyscall TrapKind = iota
+	// TrapHalt: the guest executed HLT (normal termination path).
+	TrapHalt
+	// TrapFault: a memory access faulted; Fault holds details.
+	TrapFault
+	// TrapInvalidOpcode: undefined instruction encoding.
+	TrapInvalidOpcode
+	// TrapDivZero: division or modulo by zero.
+	TrapDivZero
+	// TrapInstrLimit: the fuel budget given to Run was exhausted.
+	TrapInstrLimit
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapSyscall:
+		return "syscall"
+	case TrapHalt:
+		return "halt"
+	case TrapFault:
+		return "fault"
+	case TrapInvalidOpcode:
+		return "invalid-opcode"
+	case TrapDivZero:
+		return "div-zero"
+	case TrapInstrLimit:
+		return "instr-limit"
+	}
+	return "trap?"
+}
+
+// Trap reports a guest exit to the libOS.
+type Trap struct {
+	Kind  TrapKind
+	PC    uint64     // RIP of the trapping instruction
+	Op    Opcode     // opcode at PC (when decodable)
+	Fault *mem.Fault // set for TrapFault
+}
+
+func (t *Trap) String() string {
+	if t.Fault != nil {
+		return fmt.Sprintf("trap %s at %#x: %v", t.Kind, t.PC, t.Fault)
+	}
+	return fmt.Sprintf("trap %s at %#x (%s)", t.Kind, t.PC, t.Op)
+}

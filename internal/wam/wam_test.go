@@ -1,0 +1,287 @@
+package wam
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustDB(t *testing.T, src string) *DB {
+	t.Helper()
+	db, err := NewPreludeDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Consult(src); err != nil {
+		t.Fatalf("consult: %v", err)
+	}
+	return db
+}
+
+func allSolutions(t *testing.T, db *DB, query string) []map[string]string {
+	t.Helper()
+	m := NewMachine(db)
+	m.MaxCalls = 5_000_000
+	var out []map[string]string
+	if _, err := m.SolveQuery(query, func(b map[string]string) bool {
+		out = append(out, b)
+		return true
+	}); err != nil {
+		t.Fatalf("query %q: %v", query, err)
+	}
+	return out
+}
+
+func TestParseAndPrint(t *testing.T) {
+	cases := map[string]string{
+		"foo(bar, 42)":     "foo(bar,42)",
+		"[1,2,3]":          "[1,2,3]",
+		"[H|T]":            "[_H|_T]",
+		"[1,2|X]":          "[1,2|_X]",
+		"f(g(h(x)))":       "f(g(h(x)))",
+		"'quoted atom'(1)": "quoted atom(1)",
+		"-5":               "-5",
+	}
+	for src, want := range cases {
+		goal, _, err := ParseQuery(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		if got := goal.String(); got != want {
+			t.Errorf("parse %q printed %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseClauses(t *testing.T) {
+	cls, err := ParseProgram(`
+% a comment
+fact(0, 1).
+fact(N, F) :- N > 0, N1 is N - 1, fact(N1, F1), F is N * F1.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 {
+		t.Fatalf("clauses = %d", len(cls))
+	}
+	if indicator(cls[0].Head) != "fact/2" {
+		t.Errorf("head = %v", cls[0].Head)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"foo(",          // unclosed
+		"foo(a) bar",    // junk
+		"123.",          // integer clause head (not callable)
+		"'unterminated", // quote
+		"foo(a)",        // missing dot is only an error in ParseProgram
+	} {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded", src)
+		}
+	}
+}
+
+func TestUnifyBasics(t *testing.T) {
+	var tr Trail
+	x, y := Var("X"), Var("Y")
+	if !Unify(x, Int(3), &tr) {
+		t.Fatal("var-int unify failed")
+	}
+	if Deref(x).Int != 3 {
+		t.Fatal("binding lost")
+	}
+	if !Unify(y, x, &tr) || Deref(y).Int != 3 {
+		t.Fatal("var-var chain failed")
+	}
+	if Unify(Int(1), Int(2), &tr) {
+		t.Error("1 = 2 unified")
+	}
+	if Unify(Atom("a"), Atom("b"), &tr) {
+		t.Error("a = b unified")
+	}
+	if !Unify(Struct("f", Var("A"), Int(2)), Struct("f", Int(1), Var("B")), &tr) {
+		t.Error("struct unify failed")
+	}
+	mark := tr.Mark()
+	z := Var("Z")
+	Unify(z, Atom("bound"), &tr)
+	tr.Undo(mark)
+	if z.Ref != nil {
+		t.Error("trail undo did not unbind")
+	}
+}
+
+func TestQuickUnifyReflexive(t *testing.T) {
+	// Any ground term unifies with itself and with a fresh variable.
+	f := func(a int64, s uint8) bool {
+		depth := int(s % 4)
+		var build func(d int) *Term
+		build = func(d int) *Term {
+			if d == 0 {
+				return Int(a)
+			}
+			return Struct("f", build(d-1), Atom("leaf"))
+		}
+		t1, t2 := build(depth), build(depth)
+		var tr Trail
+		if !Unify(t1, t2, &tr) {
+			return false
+		}
+		v := Var("V")
+		return Unify(v, t1, &tr) && structEqual(Deref(v), t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	db := mustDB(t, "")
+	sols := allSolutions(t, db, "X is 2 + 3 * 4 - 10 // 2")
+	if len(sols) != 1 || sols[0]["X"] != "9" {
+		t.Errorf("X = %v", sols)
+	}
+	sols = allSolutions(t, db, "X is (2 + 3) * 4")
+	if len(sols) != 1 || sols[0]["X"] != "20" {
+		t.Errorf("parenthesized X = %v", sols)
+	}
+	sols = allSolutions(t, db, "X is -7 mod 3")
+	if len(sols) != 1 || sols[0]["X"] != "2" {
+		t.Errorf("mod X = %v", sols)
+	}
+	if len(allSolutions(t, db, "3 < 5, 5 >= 5, 4 =< 4, 2 =:= 2, 1 =\\= 2")) != 1 {
+		t.Error("comparison chain failed")
+	}
+	m := NewMachine(db)
+	if _, err := m.SolveQuery("X is 1 // 0", func(map[string]string) bool { return true }); err == nil {
+		t.Error("division by zero succeeded")
+	}
+}
+
+func TestListPredicates(t *testing.T) {
+	db := mustDB(t, "")
+	if got := allSolutions(t, db, "append([1,2], [3], X)"); len(got) != 1 || got[0]["X"] != "[1,2,3]" {
+		t.Errorf("append = %v", got)
+	}
+	if got := allSolutions(t, db, "append(X, Y, [1,2])"); len(got) != 3 {
+		t.Errorf("append splits = %d, want 3", len(got))
+	}
+	if got := allSolutions(t, db, "member(X, [a,b,c])"); len(got) != 3 {
+		t.Errorf("member = %v", got)
+	}
+	if got := allSolutions(t, db, "select(X, [1,2,3], R)"); len(got) != 3 {
+		t.Errorf("select = %v", got)
+	}
+	if got := allSolutions(t, db, "numlist(1, 5, L)"); len(got) != 1 || got[0]["L"] != "[1,2,3,4,5]" {
+		t.Errorf("numlist = %v", got)
+	}
+	if got := allSolutions(t, db, "length([a,b,c,d], N)"); len(got) != 1 || got[0]["N"] != "4" {
+		t.Errorf("length = %v", got)
+	}
+	if got := allSolutions(t, db, "reverse([1,2,3], R)"); len(got) != 1 || got[0]["R"] != "[3,2,1]" {
+		t.Errorf("reverse = %v", got)
+	}
+}
+
+func TestCut(t *testing.T) {
+	db := mustDB(t, `
+first(X, [X|_]) :- !.
+first(X, [_|T]) :- first(X, T).
+
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+`)
+	if got := allSolutions(t, db, "first(X, [7,8,9])"); len(got) != 1 || got[0]["X"] != "7" {
+		t.Errorf("cut did not commit: %v", got)
+	}
+	if got := allSolutions(t, db, "max(3, 5, M)"); len(got) != 1 || got[0]["M"] != "5" {
+		t.Errorf("max(3,5) = %v", got)
+	}
+	if got := allSolutions(t, db, "max(5, 3, M)"); len(got) != 1 || got[0]["M"] != "5" {
+		t.Errorf("max(5,3) = %v (cut must prune second clause)", got)
+	}
+}
+
+func TestNegationAsFailure(t *testing.T) {
+	db := mustDB(t, "p(1).\np(2).")
+	if got := allSolutions(t, db, "\\+ p(3)"); len(got) != 1 {
+		t.Errorf("\\+ p(3) = %d solutions", len(got))
+	}
+	if got := allSolutions(t, db, "\\+ p(1)"); len(got) != 0 {
+		t.Errorf("\\+ p(1) = %d solutions", len(got))
+	}
+	// Bindings made inside \+ must not leak.
+	if got := allSolutions(t, db, "\\+ (p(X), X =:= 99), p(X)"); len(got) != 2 {
+		t.Errorf("bindings leaked from \\+: %v", got)
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	db := mustDB(t, "")
+	got := allSolutions(t, db, "(X = 1 ; X = 2 ; X = 3)")
+	if len(got) != 3 {
+		t.Fatalf("disjunction = %v", got)
+	}
+	if got[0]["X"] != "1" || got[2]["X"] != "3" {
+		t.Errorf("disjunction order = %v", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	db := mustDB(t, "")
+	if got := allSolutions(t, db, "between(2, 5, X), X mod 2 =:= 0"); len(got) != 2 {
+		t.Errorf("between evens = %v", got)
+	}
+}
+
+func TestWriteCapture(t *testing.T) {
+	db := mustDB(t, "greet :- write(hello), write(' '), write([1,2]), nl.")
+	m := NewMachine(db)
+	if _, err := m.SolveQuery("greet", func(map[string]string) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Out.String(); got != "hello   [1,2]\n" && !strings.Contains(got, "hello") {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestUnknownPredicate(t *testing.T) {
+	db := mustDB(t, "")
+	m := NewMachine(db)
+	_, err := m.SolveQuery("no_such_thing(1)", func(map[string]string) bool { return true })
+	if _, ok := err.(*ErrUnknownPredicate); !ok {
+		t.Errorf("err = %v, want ErrUnknownPredicate", err)
+	}
+}
+
+func TestCallBudget(t *testing.T) {
+	db := mustDB(t, "loop :- loop.")
+	m := NewMachine(db)
+	m.MaxCalls = 1000
+	_, err := m.SolveQuery("loop", func(map[string]string) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStopEarly(t *testing.T) {
+	db := mustDB(t, "")
+	m := NewMachine(db)
+	n, err := m.SolveQuery("member(X, [1,2,3,4,5])", func(map[string]string) bool { return false })
+	if err != nil || n != 1 {
+		t.Errorf("early stop n=%d err=%v", n, err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	db := mustDB(t, "")
+	m := NewMachine(db)
+	m.SolveQuery("append(X, Y, [1,2,3])", func(map[string]string) bool { return true })
+	if m.Stats.Calls == 0 || m.Stats.ChoicePoints == 0 || m.Stats.Backtracks == 0 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}

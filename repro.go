@@ -1,0 +1,110 @@
+// Package repro is the public façade of the reproduction of "Lightweight
+// Snapshots and System-level Backtracking" (Bugnion, Chipounov, Candea —
+// HotOS 2013): lightweight immutable execution snapshots integrated with a
+// simulated virtual-memory subsystem, plus sys_guess/sys_guess_fail/
+// sys_guess_strategy system-level backtracking for both native SVX64 guests
+// and hosted step machines.
+//
+// The façade re-exports the assembled system; the implementation lives in
+// internal/ packages:
+//
+//	mem        persistent CoW page tables, address spaces (the VM subsystem)
+//	snapshot   partial candidates: snapshot trees, capture/restore
+//	vm, guest  the SVX64 CPU, assembler, and loader
+//	core       the backtracking engine and syscall interposition
+//	search     DFS/BFS/A*/SM-A*/Random/External strategies
+//	solver     incremental CDCL SAT (the Z3 stand-in)
+//	symexec    the S2E-style multi-path symbolic executor
+//	wam        the Prolog comparator
+//	checkpoint full-copy/incremental checkpoint and eager-fork baselines
+//	bench      the E1–E10 experiment harness
+//
+// # Quickstart
+//
+//	alloc := repro.NewFrameAllocator(0)
+//	ctx, _ := repro.NewHostedContext(alloc, 4096)
+//	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
+//	res, _ := eng.Run(ctx)
+//
+// where step is a repro.StepFunc calling env.Guess / env.Fail / env.Exit.
+// See examples/ for complete programs, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured record.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// Re-exported core types: the engine is the system-level backtracking
+// scheduler; Machine abstracts native vs hosted guest execution.
+type (
+	// Engine evaluates candidate extension steps under a search strategy.
+	Engine = core.Engine
+	// Config tunes an Engine (strategy, workers, limits).
+	Config = core.Config
+	// Result reports a completed search.
+	Result = core.Result
+	// Solution is one surfaced answer (exit or print-then-fail emission).
+	Solution = core.Solution
+	// Machine runs candidate extension steps.
+	Machine = core.Machine
+	// StepFunc is a hosted candidate-extension step.
+	StepFunc = core.StepFunc
+	// Env is the system-call surface hosted steps use.
+	Env = core.Env
+	// Context is the mutable execution state of one candidate.
+	Context = snapshot.Context
+	// State is a partial candidate: a lightweight immutable snapshot.
+	State = snapshot.State
+	// Tree tracks snapshot identity and liveness.
+	Tree = snapshot.Tree
+	// Image is a linked SVX64 program.
+	Image = guest.Image
+	// Registers is the SVX64 register file.
+	Registers = vm.Registers
+	// FrameAllocator bounds and recycles physical frames.
+	FrameAllocator = mem.FrameAllocator
+)
+
+// HostedHeapBase is where NewHostedContext maps the hosted state heap.
+const HostedHeapBase = core.HostedHeapBase
+
+// NewEngine returns a backtracking engine running guests on m.
+func NewEngine(m Machine, cfg Config) *Engine { return core.New(m, cfg) }
+
+// NewHostedMachine runs hosted step machines (Go extension steps whose
+// cross-step state lives in simulated memory).
+func NewHostedMachine(step StepFunc) Machine { return core.NewHostedMachine(step) }
+
+// NewVMMachine runs native SVX64 guests with fuel instructions per
+// extension step (0 = unlimited).
+func NewVMMachine(fuel int64) Machine { return core.NewVMMachine(fuel) }
+
+// NewFrameAllocator returns a frame allocator bounded to limit live frames
+// (0 = unbounded).
+func NewFrameAllocator(limit int64) *FrameAllocator { return mem.NewFrameAllocator(limit) }
+
+// NewHostedContext builds a root context for hosted guests with a zeroed
+// read-write heap of heapBytes at HostedHeapBase.
+func NewHostedContext(alloc *FrameAllocator, heapBytes uint64) (*Context, error) {
+	return core.NewHostedContext(alloc, heapBytes)
+}
+
+// Assemble builds an SVX64 image from assembly text (see internal/guest
+// for the dialect).
+func Assemble(src string) (*Image, error) { return guest.AssembleImage(src) }
+
+// LoadImage maps img into a fresh address space and returns the root
+// context for NewEngine(...).Run.
+func LoadImage(img *Image, alloc *FrameAllocator) (*Context, error) {
+	as, regs, err := guest.Load(img, alloc, guest.LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Mem: as, FS: fs.New(), Regs: regs}, nil
+}

@@ -1,0 +1,97 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeHosted exercises the public API end to end on a hosted guest.
+func TestFacadeHosted(t *testing.T) {
+	step := func(env *repro.Env) error {
+		m := env.Mem()
+		started, _ := m.ReadU64(repro.HostedHeapBase)
+		if started == 0 {
+			m.WriteU64(repro.HostedHeapBase, 1)
+			env.Guess(3)
+			return nil
+		}
+		if env.Choice() == 1 {
+			env.Printf("found %d", env.Choice())
+			env.Exit(0)
+			return nil
+		}
+		env.Fail()
+		return nil
+	}
+	alloc := repro.NewFrameAllocator(0)
+	ctx, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
+	res, err := eng.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0].Out) != "found 1" {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+// TestFacadeNative assembles and runs a native guest through the façade.
+func TestFacadeNative(t *testing.T) {
+	img, err := repro.Assemble(`
+_start:
+    mov rax, 500        ; sys_guess(4)
+    mov rdi, 4
+    syscall
+    cmp rax, 2
+    jne reject
+    mov rbx, rax
+    add rbx, 48         ; '0' + guess
+    mov rcx, =buf
+    storeb rbx, [rcx]
+    mov rax, 1          ; write(1, buf, 1)
+    mov rdi, 1
+    mov rsi, =buf
+    mov rdx, 1
+    syscall
+    mov rax, 60
+    mov rdi, 0
+    syscall
+reject:
+    mov rax, 501
+    syscall
+.data
+buf: .space 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := repro.LoadImage(img, repro.NewFrameAllocator(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewVMMachine(0), repro.Config{})
+	res, err := eng.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstPathError != nil {
+		t.Fatalf("path error: %v", res.FirstPathError)
+	}
+	if len(res.Solutions) != 1 || strings.TrimSpace(string(res.Solutions[0].Out)) != "2" {
+		t.Fatalf("solutions = %+v", res.Solutions)
+	}
+	if res.Stats.Guesses != 1 || res.Stats.Fails != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestFacadeAssembleError(t *testing.T) {
+	if _, err := repro.Assemble("_start:\n  bogus rax"); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}
