@@ -6,6 +6,8 @@ package repro
 // paper-style tables themselves.
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -39,7 +41,7 @@ func BenchmarkE1QueensSnapshotHosted(b *testing.B) {
 			b.Fatal(err)
 		}
 		eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{})
-		res, err := eng.Run(ctx)
+		res, err := eng.Run(context.Background(), ctx)
 		if err != nil || len(res.Solutions) != 92 {
 			b.Fatalf("res=%v err=%v", len(res.Solutions), err)
 		}
@@ -58,7 +60,7 @@ func BenchmarkE1QueensSnapshotNative(b *testing.B) {
 			b.Fatal(err)
 		}
 		eng := core.New(core.NewVMMachine(0), core.Config{})
-		res, err := eng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+		res, err := eng.Run(context.Background(), &snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
 		if err != nil || len(res.Solutions) != 92 {
 			b.Fatalf("res=%v err=%v", len(res.Solutions), err)
 		}
@@ -307,7 +309,7 @@ _start:
 					b.Fatal(err)
 				}
 				eng := core.New(core.NewVMMachine(0), core.Config{})
-				if _, err := eng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs}); err != nil {
+				if _, err := eng.Run(context.Background(), &snapshot.Context{Mem: as, FS: fs.New(), Regs: regs}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -371,7 +373,7 @@ func benchQueensWorkers(b *testing.B, workers int) {
 		}
 		eng := core.New(core.NewHostedMachine(queens.HostedStep(false)),
 			core.Config{Workers: workers})
-		res, err := eng.Run(ctx)
+		res, err := eng.Run(context.Background(), ctx)
 		if err != nil || len(res.Solutions) != 92 {
 			b.Fatalf("solutions=%d err=%v", len(res.Solutions), err)
 		}

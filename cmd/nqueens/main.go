@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +28,12 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// First signal: the engine backends stop gracefully with partial
+	// counts. Restoring default handling lets a second signal (or a first
+	// one during the ctx-unaware hand/prolog arms) kill immediately.
+	go func() { <-ctx.Done(); stop() }()
 	n := flag.Int("n", 8, "board size")
 	impl := flag.String("impl", "all", "hand | hosted | native | prolog | all")
 	first := flag.Bool("first", false, "stop at the first solution")
@@ -38,6 +48,11 @@ func main() {
 		start := time.Now()
 		count, out, err := fn()
 		dur := time.Since(start)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "%s: interrupted after %v (%d solutions so far)\n",
+				name, dur.Round(time.Microsecond), count)
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
@@ -53,6 +68,14 @@ func main() {
 		maxSol = 1
 	}
 
+	// partial counts the solutions found before an interrupted run stopped.
+	partial := func(res *core.Result) int {
+		if res == nil {
+			return 0
+		}
+		return len(res.Solutions)
+	}
+
 	run("hand", func() (int, string, error) {
 		var sb strings.Builder
 		count := queens.HandCoded(*n, func(cols []int) {
@@ -65,15 +88,15 @@ func main() {
 
 	run("hosted", func() (int, string, error) {
 		alloc := mem.NewFrameAllocator(0)
-		ctx, err := queens.NewHostedContext(alloc, *n)
+		hctx, err := queens.NewHostedContext(alloc, *n)
 		if err != nil {
 			return 0, "", err
 		}
 		eng := core.New(core.NewHostedMachine(queens.HostedStep(*first)),
 			core.Config{MaxSolutions: maxSol, Workers: *workers})
-		res, err := eng.Run(ctx)
+		res, err := eng.Run(ctx, hctx)
 		if err != nil {
-			return 0, "", err
+			return partial(res), "", err
 		}
 		var sb strings.Builder
 		for _, s := range res.Solutions {
@@ -92,9 +115,9 @@ func main() {
 			return 0, "", err
 		}
 		eng := core.New(core.NewVMMachine(0), core.Config{MaxSolutions: maxSol})
-		res, err := eng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+		res, err := eng.Run(ctx, &snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
 		if err != nil {
-			return 0, "", err
+			return partial(res), "", err
 		}
 		if res.FirstPathError != nil {
 			return 0, "", res.FirstPathError

@@ -10,15 +10,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// First signal: finish the current experiment, skip the rest. Restore
+	// default handling so a second signal kills immediately.
+	go func() { <-ctx.Done(); stop() }()
 	id := flag.Int("e", 0, "experiment id (1-10); 0 runs all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -46,6 +54,10 @@ func main() {
 	}
 
 	for _, e := range toRun {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; remaining experiments skipped")
+			os.Exit(130)
+		}
 		start := time.Now()
 		tb, err := e.Run(opts)
 		if err != nil {

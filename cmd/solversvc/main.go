@@ -3,6 +3,10 @@
 // problem is parked behind an opaque reference backed by a lightweight
 // snapshot; clients branch any reference with additional clauses.
 //
+// SIGINT/SIGTERM shut the service down gracefully: the in-flight command
+// finishes, every parked snapshot is released, and the process exits after
+// verifying no snapshots leaked.
+//
 // Protocol (one command per line):
 //
 //	extend <id> <lit ... 0 [lit ... 0 ...]>   extend problem <id>; prints "id=N verdict=..."
@@ -20,32 +24,83 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/service"
 	"repro/internal/solver"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// First signal: graceful shutdown below. Restore default handling so a
+	// second signal kills immediately if teardown wedges.
+	go func() { <-ctx.Done(); stop() }()
+
 	svc := service.New()
-	defer svc.Close()
-	sc := bufio.NewScanner(os.Stdin)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
+	// Scan stdin on its own goroutine so a signal interrupts a blocked
+	// read: the main loop selects between lines and ctx.Done().
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
 	fmt.Fprintln(out, "solversvc ready; problem 0 is empty (see -h for protocol)")
 	out.Flush()
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	serve(ctx, svc, out, lines)
+
+	// Graceful teardown: release every parked snapshot and verify none leak.
+	interrupted := ctx.Err() != nil
+	svc.Close()
+	live := svc.LiveSnapshots()
+	if interrupted {
+		fmt.Fprintf(out, "signal received; shut down gracefully (live-snapshots=%d)\n", live)
+	}
+	out.Flush()
+	if live != 0 {
+		fmt.Fprintf(os.Stderr, "solversvc: %d snapshots leaked at shutdown\n", live)
+		os.Exit(1)
+	}
+}
+
+// serve runs the command loop until EOF, quit, or ctx cancellation.
+func serve(ctx context.Context, svc *service.Service, out *bufio.Writer, lines <-chan string) {
+loop:
+	for {
+		var line string
+		var ok bool
+		select {
+		case <-ctx.Done():
+			break loop
+		case line, ok = <-lines:
+			if !ok {
+				break loop
+			}
+		}
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
 		switch fields[0] {
 		case "quit", "exit":
-			return
+			break loop
 		case "refs":
 			fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
 		case "release":
@@ -96,7 +151,7 @@ func main() {
 			if len(cur) > 0 {
 				clauses = append(clauses, cur)
 			}
-			res, err := svc.Extend(id, clauses)
+			res, err := svc.Extend(ctx, id, clauses)
 			if err != nil {
 				fmt.Fprintf(out, "err: %v\n", err)
 				break

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,13 +17,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	svc := service.New()
 	defer svc.Close()
 
 	// p: a 150-variable random 3-SAT instance.
 	base := solver.Random3SAT(150, 520, 7)
 	start := time.Now()
-	p, err := svc.Extend(0, base)
+	p, err := svc.Extend(ctx, 0, base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func main() {
 	}
 	for _, b := range branches {
 		start := time.Now()
-		r, err := svc.Extend(p.ID, b.clauses)
+		r, err := svc.Extend(ctx, p.ID, b.clauses)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,9 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -19,44 +24,60 @@ import (
 
 func main() {
 	n := flag.Int("n", 8, "board size (1..9 for the native printer)")
-	show := flag.Bool("show", false, "render each board")
+	show := flag.Bool("show", false, "render each board as it surfaces")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	img, err := queens.Asm(*n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, err := repro.LoadImage(img, repro.NewFrameAllocator(0))
+	root, err := repro.LoadImage(img, repro.NewFrameAllocator(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := repro.NewEngine(repro.NewVMMachine(0), repro.Config{})
+
+	// Boards stream through the OnSolution hook the moment the guest prints
+	// them — no waiting for the full search; Ctrl-C stops cleanly with the
+	// partial count. The observer watches the engine's snapshot churn live.
+	var liveSnapshots atomic.Int64
+	eng := repro.NewEngine(repro.NewVMMachine(0),
+		repro.WithObserver(&repro.FuncObserver{
+			Snapshot: func(id uint64, depth int) { liveSnapshots.Add(1) },
+		}),
+		repro.WithOnSolution(func(s repro.Solution) repro.Decision {
+			if *show {
+				board := string(s.Out)
+				for _, col := range board[:len(board)-1] {
+					for c := 0; c < *n; c++ {
+						if int(col-'0') == c {
+							fmt.Print("Q ")
+						} else {
+							fmt.Print(". ")
+						}
+					}
+					fmt.Println()
+				}
+				fmt.Println()
+			}
+			return repro.Continue
+		}))
 	start := time.Now()
-	res, err := eng.Run(ctx)
-	if err != nil {
+	res, err := eng.Run(ctx, root)
+	if err != nil && res == nil {
 		log.Fatal(err)
 	}
 	if res.FirstPathError != nil {
 		log.Fatalf("guest crashed: %v", res.FirstPathError)
 	}
-	fmt.Printf("n=%d: %d solutions in %v (strategy %s)\n",
-		*n, len(res.Solutions), time.Since(start).Round(time.Microsecond), res.Strategy)
-	fmt.Printf("extension steps=%d snapshots=%d CoW page copies=%d\n",
-		res.Stats.Nodes, res.Stats.Snapshots, res.Stats.CowCopies)
-	if *show {
-		for _, s := range res.Solutions {
-			board := string(s.Out)
-			for _, col := range board[:len(board)-1] {
-				for c := 0; c < *n; c++ {
-					if int(col-'0') == c {
-						fmt.Print("Q ")
-					} else {
-						fmt.Print(". ")
-					}
-				}
-				fmt.Println()
-			}
-			fmt.Println()
-		}
+	status := "complete"
+	if err != nil {
+		status = "interrupted"
 	}
+	fmt.Printf("n=%d: %d solutions in %v (strategy %s, %s)\n",
+		*n, len(res.Solutions), time.Since(start).Round(time.Microsecond), res.Strategy, status)
+	fmt.Printf("extension steps=%d snapshots=%d (observer saw %d) CoW page copies=%d\n",
+		res.Stats.Nodes, res.Stats.Snapshots, liveSnapshots.Load(), res.Stats.CowCopies)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,8 +65,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
-	res, err := eng.Run(ctx)
+	eng := repro.NewEngine(repro.NewHostedMachine(step))
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -120,15 +121,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{MaxSolutions: 1})
-	res, err := eng.Run(ctx)
-	if err != nil {
-		log.Fatal(err)
+	// Stream solutions and break after the first: the iterator cancels the
+	// run, drains the queues, and releases every snapshot — no MaxSolutions
+	// guesswork needed.
+	eng := repro.NewEngine(repro.NewHostedMachine(step))
+	found := false
+	for sol, err := range eng.Solutions(context.Background(), ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(string(sol.Out))
+		found = true
+		break
 	}
-	if len(res.Solutions) == 0 {
+	if !found {
 		log.Fatal("no solution found")
 	}
-	fmt.Print(string(res.Solutions[0].Out))
-	fmt.Printf("(%d extension steps, %d snapshots, max depth %d)\n",
-		res.Stats.Nodes, res.Stats.Snapshots, res.Stats.MaxDepth)
+	fmt.Printf("(%d live snapshots after early break)\n", eng.Tree().Live())
 }

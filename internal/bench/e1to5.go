@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -38,7 +40,7 @@ func E1(o Options) (*trace.Table, error) {
 			}
 			eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{})
 			var res *core.Result
-			hostedT = trace.Time(func() { res, err = eng.Run(ctx) })
+			hostedT = trace.Time(func() { res, err = eng.Run(context.Background(), ctx) })
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +135,7 @@ func E2(o Options) (*trace.Table, error) {
 		}
 		eng := core.New(core.NewHostedMachine(step), core.Config{})
 		var res *core.Result
-		snapT := trace.Time(func() { res, err = eng.Run(ctx) })
+		snapT := trace.Time(func() { res, err = eng.Run(context.Background(), ctx) })
 		if err != nil {
 			return nil, err
 		}

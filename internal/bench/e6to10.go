@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -172,7 +174,7 @@ func E7(o Options) (*trace.Table, error) {
 		eng := core.New(core.NewHostedMachine(lockStep(depth, fanout, goal)),
 			core.Config{Strategy: st.make(), MaxSolutions: 1})
 		var res *core.Result
-		dur := trace.Time(func() { res, err = eng.Run(ctx) })
+		dur := trace.Time(func() { res, err = eng.Run(context.Background(), ctx) })
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +288,7 @@ func E9(o Options) (*trace.Table, error) {
 		}
 		eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{Workers: w})
 		var res *core.Result
-		dur := trace.Time(func() { res, err = eng.Run(ctx) })
+		dur := trace.Time(func() { res, err = eng.Run(context.Background(), ctx) })
 		if err != nil {
 			return 0, err
 		}
@@ -330,7 +332,7 @@ func E9(o Options) (*trace.Table, error) {
 		}
 		eng := core.New(core.NewHostedMachine(coarseStep), core.Config{Workers: w})
 		var res *core.Result
-		dur := trace.Time(func() { res, err = eng.Run(ctx) })
+		dur := trace.Time(func() { res, err = eng.Run(context.Background(), ctx) })
 		if err != nil {
 			return 0, err
 		}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/interpose"
 	"repro/internal/search"
@@ -50,6 +52,27 @@ type Config struct {
 	// a fork. Under DFS the exploration order is identical; the savings
 	// are one restore plus the first-write path copies per interior node.
 	NoRunThrough bool
+	// OnSolution, when non-nil, is invoked synchronously from the worker
+	// that surfaced each solution, before it is appended to the Result.
+	// Returning Stop halts the search. With Workers > 1 the hook may be
+	// called concurrently. When DiscardSolutions is also set, the hook
+	// owns Solution.Final and must release it.
+	OnSolution func(Solution) Decision
+	// Observer, when non-nil, receives telemetry callbacks from the hot
+	// loop (see Observer). It runs in addition to OnSolution.
+	Observer Observer
+	// DiscardSolutions stops the engine from buffering solutions into
+	// Result.Solutions — for streaming callers that consume them through
+	// OnSolution (or Engine.Solutions) and don't want the run's full
+	// answer set held in memory. MaxSolutions still counts.
+	DiscardSolutions bool
+	// Timeout bounds the whole run; when it elapses Run stops and returns
+	// the partial Result with context.DeadlineExceeded. Zero means no
+	// timeout. Applied on top of the Context passed to Run.
+	Timeout time.Duration
+	// Deadline is the absolute-time form of Timeout; the zero value means
+	// no deadline. When both are set the earlier one wins.
+	Deadline time.Time
 }
 
 // SolutionKind distinguishes how a solution surfaced.
@@ -119,6 +142,7 @@ func (r *Result) Release() {
 type Engine struct {
 	machine Machine
 	cfg     Config
+	obs     Observer
 	tree    *snapshot.Tree
 
 	mu       sync.Mutex
@@ -131,6 +155,7 @@ type Engine struct {
 	runThrough bool // continue extension 0 in-place (DFS only)
 
 	solutions []Solution
+	recorded  int // surfaced solutions, whether or not buffered
 	pathErr   error
 	fatal     error
 
@@ -161,7 +186,7 @@ func New(m Machine, cfg Config) *Engine {
 	if st == nil {
 		st = search.NewDFS[*snapshot.State]()
 	}
-	e := &Engine{machine: m, cfg: cfg, tree: snapshot.NewTree(), strategy: st}
+	e := &Engine{machine: m, cfg: cfg, obs: cfg.Observer, tree: snapshot.NewTree(), strategy: st}
 	e.runThrough = st.Name() == "dfs" && !cfg.NoRunThrough
 	e.cond = sync.NewCond(&e.mu)
 	return e
@@ -171,11 +196,45 @@ func New(m Machine, cfg Config) *Engine {
 func (e *Engine) Tree() *snapshot.Tree { return e.tree }
 
 // Run takes ownership of root and explores the guest's search space to
-// exhaustion (or until a configured limit). It returns the recorded
-// solutions and statistics. A non-nil error reports an infrastructure
-// failure; guest crashes are counted in Stats.Errors and sampled in
-// Result.FirstPathError.
-func (e *Engine) Run(root *snapshot.Context) (*Result, error) {
+// exhaustion (or until a configured limit, or ctx is cancelled). It
+// returns the recorded solutions and statistics. A non-nil error is
+// either an infrastructure failure (Result is nil) or ctx's error —
+// cancellation and deadline expiry return the *partial* Result alongside
+// ctx.Err(), with every queued extension drained and its snapshot
+// reference released. Guest crashes are counted in Stats.Errors and
+// sampled in Result.FirstPathError. Run may be called at most once.
+func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !e.cfg.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, e.cfg.Deadline)
+		defer cancel()
+	}
+	if e.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		root.Release()
+		return &Result{Strategy: e.strategy.Name()}, err
+	}
+
+	// The watcher turns ctx cancellation into a stop: it drains the
+	// strategy queues (releasing their snapshot references) and wakes
+	// workers blocked on the condvar, so a cancelled run returns within
+	// one extension step.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.stop(nil)
+		case <-watchDone:
+		}
+	}()
+
 	// Evaluate the root step synchronously: it may select the strategy.
 	e.evaluate(nil, root, 0)
 
@@ -188,6 +247,7 @@ func (e *Engine) Run(root *snapshot.Context) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -212,7 +272,7 @@ func (e *Engine) Run(root *snapshot.Context) (*Result, error) {
 			NodeClones: e.nodeClones.Load(),
 		},
 	}
-	return res, nil
+	return res, ctx.Err()
 }
 
 func (e *Engine) worker() {
@@ -322,6 +382,9 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 		case EventGuess:
 			if ev.N == 0 { // sys_guess(0) ≡ sys_guess_fail
 				e.fails.Add(1)
+				if e.obs != nil {
+					e.obs.OnFail(depth)
+				}
 				e.recordEmission(parent, ctx)
 				return
 			}
@@ -332,6 +395,10 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			}
 			e.guesses.Add(1)
 			snap := e.tree.Capture(ctx, parent)
+			if e.obs != nil {
+				e.obs.OnGuess(depth, ev.N)
+				e.obs.OnSnapshot(snap.ID(), snap.Depth())
+			}
 			runThrough := e.runThrough && !e.halted.Load()
 			first := uint64(0)
 			if runThrough {
@@ -389,12 +456,18 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			}
 			if e.cfg.KeepExitSnapshots {
 				sol.Final = e.tree.Capture(ctx, parent)
+				if e.obs != nil {
+					e.obs.OnSnapshot(sol.Final.ID(), sol.Final.Depth())
+				}
 			}
 			e.recordSolution(sol)
 			return
 
 		case EventFail:
 			e.fails.Add(1)
+			if e.obs != nil {
+				e.obs.OnFail(depth)
+			}
 			e.recordEmission(parent, ctx)
 			return
 
@@ -433,11 +506,25 @@ func (e *Engine) recordEmission(parent *snapshot.State, ctx *snapshot.Context) {
 }
 
 func (e *Engine) recordSolution(sol Solution) {
+	if e.obs != nil {
+		e.obs.OnSolution(sol)
+	}
+	decision := Continue
+	if e.cfg.OnSolution != nil {
+		decision = e.cfg.OnSolution(sol)
+	} else if e.cfg.DiscardSolutions && sol.Final != nil {
+		// Nobody will ever see this solution; don't leak its snapshot.
+		sol.Final.Release()
+		sol.Final = nil
+	}
 	e.mu.Lock()
-	e.solutions = append(e.solutions, sol)
-	hitLimit := e.cfg.MaxSolutions > 0 && len(e.solutions) >= e.cfg.MaxSolutions
+	e.recorded++
+	if !e.cfg.DiscardSolutions {
+		e.solutions = append(e.solutions, sol)
+	}
+	hitLimit := e.cfg.MaxSolutions > 0 && e.recorded >= e.cfg.MaxSolutions
 	e.mu.Unlock()
-	if hitLimit {
+	if hitLimit || decision == Stop {
 		e.stop(nil)
 	}
 }

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"sort"
@@ -25,7 +27,7 @@ func hostedRun(t *testing.T, step core.StepFunc, heap uint64, cfg core.Config) *
 		t.Fatal(err)
 	}
 	eng := core.New(core.NewHostedMachine(step), cfg)
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -106,7 +108,7 @@ func TestHostedQueensAllBackends(t *testing.T) {
 				t.Fatal(err)
 			}
 			eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{})
-			res, err := eng.Run(ctx)
+			res, err := eng.Run(context.Background(), ctx)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +135,7 @@ func TestNativeQueensFigure1(t *testing.T) {
 	}
 	ctx := &snapshot.Context{Mem: as, FS: fs.New(), Regs: regs}
 	eng := core.New(core.NewVMMachine(0), core.Config{})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +178,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{Workers: workers})
-		res, err := eng.Run(ctx)
+		res, err := eng.Run(context.Background(), ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +233,7 @@ func TestStrategiesVisitOrder(t *testing.T) {
 		alloc := mem.NewFrameAllocator(0)
 		ctx, _ := core.NewHostedContext(alloc, 4096)
 		eng := core.New(core.NewHostedMachine(step), core.Config{Strategy: st})
-		res, err := eng.Run(ctx)
+		res, err := eng.Run(context.Background(), ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +287,7 @@ func TestAStarHintGuidesSearch(t *testing.T) {
 	ctx, _ := core.NewHostedContext(alloc, 4096)
 	eng := core.New(core.NewHostedMachine(step),
 		core.Config{Strategy: search.NewAStar[*snapshot.State](), MaxSolutions: 1})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +300,7 @@ func TestMaxSolutionsStopsEarly(t *testing.T) {
 	alloc := mem.NewFrameAllocator(0)
 	ctx, _ := queens.NewHostedContext(alloc, 8)
 	eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{MaxSolutions: 3})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +368,7 @@ func TestKeepExitSnapshots(t *testing.T) {
 	ctx, _ := queens.NewHostedContext(alloc, 5)
 	eng := core.New(core.NewHostedMachine(queens.HostedStep(true)),
 		core.Config{KeepExitSnapshots: true})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +426,7 @@ func TestSMAStarBoundsQueue(t *testing.T) {
 	st := search.NewSMAStar[*snapshot.State](8, drop)
 	eng := core.New(core.NewHostedMachine(queens.HostedStep(false)),
 		core.Config{Strategy: st})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+package core
+
+// Decision is returned by solution hooks to direct the engine after a
+// solution surfaces.
+type Decision uint8
+
+// Decisions.
+const (
+	// Continue keeps searching.
+	Continue Decision = iota
+	// Stop halts the search: in-flight extension steps finish their current
+	// machine resume, queued extensions are drained and their snapshot
+	// references released, and Run returns the partial Result.
+	Stop
+)
+
+func (d Decision) String() string {
+	if d == Stop {
+		return "stop"
+	}
+	return "continue"
+}
+
+// Observer receives engine telemetry from the hot loop — the seam for
+// metrics export and multi-tenant serving. Implementations must be cheap
+// and safe for concurrent calls: with Workers > 1 multiple extension steps
+// report at once. A nil Observer in Config costs a single predictable
+// branch per event.
+type Observer interface {
+	// OnGuess reports a sys_guess with the given fanout at depth.
+	OnGuess(depth int, fanout uint64)
+	// OnFail reports a dead path (sys_guess_fail or guess(0)) at depth.
+	OnFail(depth int)
+	// OnSolution reports a surfaced solution. The engine still owns
+	// sol.Final (when KeepExitSnapshots is set); observers must not
+	// retain or release it.
+	OnSolution(sol Solution)
+	// OnSnapshot reports a captured partial candidate.
+	OnSnapshot(id uint64, depth int)
+}
+
+// FuncObserver adapts optional callbacks to Observer; nil fields are
+// no-ops, so callers can subscribe to a single event kind.
+type FuncObserver struct {
+	Guess    func(depth int, fanout uint64)
+	Fail     func(depth int)
+	Solution func(sol Solution)
+	Snapshot func(id uint64, depth int)
+}
+
+// OnGuess implements Observer.
+func (o *FuncObserver) OnGuess(depth int, fanout uint64) {
+	if o.Guess != nil {
+		o.Guess(depth, fanout)
+	}
+}
+
+// OnFail implements Observer.
+func (o *FuncObserver) OnFail(depth int) {
+	if o.Fail != nil {
+		o.Fail(depth)
+	}
+}
+
+// OnSolution implements Observer.
+func (o *FuncObserver) OnSolution(sol Solution) {
+	if o.Solution != nil {
+		o.Solution(sol)
+	}
+}
+
+// OnSnapshot implements Observer.
+func (o *FuncObserver) OnSnapshot(id uint64, depth int) {
+	if o.Snapshot != nil {
+		o.Snapshot(id, depth)
+	}
+}

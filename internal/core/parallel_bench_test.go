@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -45,7 +47,7 @@ func benchParallelTree(b *testing.B, workers, spin int) {
 			b.Fatal(err)
 		}
 		eng := core.New(core.NewHostedMachine(step), core.Config{Workers: workers})
-		if _, err := eng.Run(ctx); err != nil {
+		if _, err := eng.Run(context.Background(), ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

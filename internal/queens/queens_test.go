@@ -1,6 +1,8 @@
 package queens_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -69,7 +71,7 @@ func TestThreeImplementationsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestThreeImplementationsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	vmEng := core.New(core.NewVMMachine(0), core.Config{})
-	vmRes, err := vmEng.Run(&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+	vmRes, err := vmEng.Run(context.Background(), &snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestHostedFirstSolutionMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := core.New(core.NewHostedMachine(queens.HostedStep(true)), core.Config{MaxSolutions: 1})
-	res, err := eng.Run(ctx)
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -16,6 +18,9 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/solver"
 )
+
+// ErrClosed reports an operation on a closed service.
+var ErrClosed = errors.New("service: closed")
 
 // stateFile is where the serialized solver lives inside each candidate.
 const stateFile = "/solver.state"
@@ -35,11 +40,13 @@ type Result struct {
 
 // Service is a multi-path incremental SAT solver.
 type Service struct {
-	mu     sync.Mutex
-	tree   *snapshot.Tree
-	alloc  *mem.FrameAllocator
-	states map[uint64]*snapshot.State
-	nextID uint64
+	mu       sync.Mutex
+	tree     *snapshot.Tree
+	alloc    *mem.FrameAllocator
+	states   map[uint64]*snapshot.State
+	nextID   uint64
+	closed   bool
+	inflight sync.WaitGroup
 }
 
 // New returns a service whose root problem (reference 0) is empty.
@@ -61,22 +68,38 @@ func New() *Service {
 // Extend solves states[id] ∧ clauses and parks the result behind a new
 // reference. The parent reference stays valid — callers can branch the
 // same base problem many ways (the "multi-path" in the paper's name).
-func (s *Service) Extend(id uint64, clauses [][]int) (Result, error) {
+// ctx is observed before and after the solve: a cancelled Extend returns
+// ctx.Err() without parking a reference or leaking a snapshot. A nil ctx
+// means context.Background().
+func (s *Service) Extend(ctx context.Context, id uint64, clauses [][]int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{}, ErrClosed
+	}
 	parent, ok := s.states[id]
 	if !ok {
 		s.mu.Unlock()
 		return Result{}, fmt.Errorf("service: unknown problem reference %d", id)
 	}
 	parent.Retain() // keep alive while we work unlocked
+	s.inflight.Add(1)
 	s.mu.Unlock()
+	defer s.inflight.Done()
 	defer parent.Release()
 
-	ctx := parent.Restore()
-	defer ctx.Release()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	cand := parent.Restore()
+	defer cand.Release()
 
 	var sol *solver.Solver
-	if data, err := ctx.FS.ReadFile(stateFile); err == nil {
+	if data, err := cand.FS.ReadFile(stateFile); err == nil {
 		sol, err = solver.Unmarshal(data)
 		if err != nil {
 			return Result{}, fmt.Errorf("service: corrupt state for %d: %w", id, err)
@@ -88,18 +111,28 @@ func (s *Service) Extend(id uint64, clauses [][]int) (Result, error) {
 		if err := sol.AddClause(cl...); err != nil {
 			return Result{}, err
 		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 	}
 	verdict := sol.Solve(0)
 	res := Result{Verdict: verdict, Learned: sol.NumLearnts()}
 	if verdict == solver.Sat {
 		res.Model = sol.Model()
 	}
-	ctx.FS.WriteFile(stateFile, sol.Marshal())
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cand.FS.WriteFile(stateFile, sol.Marshal())
 
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{}, ErrClosed
+	}
 	res.ID = s.nextID
 	s.nextID++
-	s.states[res.ID] = s.tree.Capture(ctx, parent)
+	s.states[res.ID] = s.tree.Capture(cand, parent)
 	s.mu.Unlock()
 	return res, nil
 }
@@ -127,8 +160,21 @@ func (s *Service) Refs() int {
 // LiveSnapshots returns the snapshot tree's live count (diagnostics).
 func (s *Service) LiveSnapshots() int64 { return s.tree.Live() }
 
-// Close releases every reference.
+// Close shuts the service down gracefully: new Extends are refused with
+// ErrClosed; in-flight Extends drain first — one that finishes its solve
+// after Close began returns ErrClosed without parking a reference — and
+// then every parked reference is released. After Close returns,
+// LiveSnapshots reports 0. Close is idempotent.
 func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, st := range s.states {

@@ -1,6 +1,9 @@
 package service
 
 import (
+	"context"
+	"errors"
+
 	"testing"
 
 	"repro/internal/solver"
@@ -11,12 +14,12 @@ func TestExtendChain(t *testing.T) {
 	defer s.Close()
 
 	// p: (x1 ∨ x2)
-	r1, err := s.Extend(0, [][]int{{1, 2}})
+	r1, err := s.Extend(context.Background(), 0, [][]int{{1, 2}})
 	if err != nil || r1.Verdict != solver.Sat {
 		t.Fatalf("p: %+v, %v", r1, err)
 	}
 	// p ∧ q: ¬x1 forces x2.
-	r2, err := s.Extend(r1.ID, [][]int{{-1}})
+	r2, err := s.Extend(context.Background(), r1.ID, [][]int{{-1}})
 	if err != nil || r2.Verdict != solver.Sat {
 		t.Fatalf("p∧q: %+v, %v", r2, err)
 	}
@@ -24,7 +27,7 @@ func TestExtendChain(t *testing.T) {
 		t.Errorf("model = %v, want x2 ∧ ¬x1", r2.Model)
 	}
 	// p ∧ q ∧ ¬x2: unsat.
-	r3, err := s.Extend(r2.ID, [][]int{{-2}})
+	r3, err := s.Extend(context.Background(), r2.ID, [][]int{{-2}})
 	if err != nil || r3.Verdict != solver.Unsat {
 		t.Fatalf("p∧q∧r: %+v, %v", r3, err)
 	}
@@ -33,17 +36,17 @@ func TestExtendChain(t *testing.T) {
 func TestMultiPathBranching(t *testing.T) {
 	s := New()
 	defer s.Close()
-	base, err := s.Extend(0, solver.Random3SAT(30, 60, 5))
+	base, err := s.Extend(context.Background(), 0, solver.Random3SAT(30, 60, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Branch the same solved base two incompatible ways: both must work,
 	// and the parent must remain intact for a third branch.
-	a, err := s.Extend(base.ID, [][]int{{1}})
+	a, err := s.Extend(context.Background(), base.ID, [][]int{{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Extend(base.ID, [][]int{{-1}})
+	b, err := s.Extend(context.Background(), base.ID, [][]int{{-1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestMultiPathBranching(t *testing.T) {
 			t.Error("branches did not diverge on x1")
 		}
 	}
-	c, err := s.Extend(base.ID, nil)
+	c, err := s.Extend(context.Background(), base.ID, nil)
 	if err != nil || c.Verdict != base.Verdict {
 		t.Errorf("third branch verdict %v vs base %v (%v)", c.Verdict, base.Verdict, err)
 	}
@@ -61,11 +64,11 @@ func TestMultiPathBranching(t *testing.T) {
 func TestUnsatSticks(t *testing.T) {
 	s := New()
 	defer s.Close()
-	r1, _ := s.Extend(0, [][]int{{1}, {-1}})
+	r1, _ := s.Extend(context.Background(), 0, [][]int{{1}, {-1}})
 	if r1.Verdict != solver.Unsat {
 		t.Fatalf("verdict = %v", r1.Verdict)
 	}
-	r2, err := s.Extend(r1.ID, [][]int{{2}})
+	r2, err := s.Extend(context.Background(), r1.ID, [][]int{{2}})
 	if err != nil || r2.Verdict != solver.Unsat {
 		t.Errorf("extension of unsat = %v, %v", r2.Verdict, err)
 	}
@@ -74,26 +77,26 @@ func TestUnsatSticks(t *testing.T) {
 func TestUnknownRefAndRelease(t *testing.T) {
 	s := New()
 	defer s.Close()
-	if _, err := s.Extend(999, nil); err == nil {
+	if _, err := s.Extend(context.Background(), 999, nil); err == nil {
 		t.Error("unknown ref accepted")
 	}
-	r, _ := s.Extend(0, [][]int{{1}})
+	r, _ := s.Extend(context.Background(), 0, [][]int{{1}})
 	if err := s.Release(r.ID); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Release(r.ID); err == nil {
 		t.Error("double release succeeded")
 	}
-	if _, err := s.Extend(r.ID, nil); err == nil {
+	if _, err := s.Extend(context.Background(), r.ID, nil); err == nil {
 		t.Error("released ref still usable")
 	}
 }
 
 func TestCloseFreesEverything(t *testing.T) {
 	s := New()
-	r1, _ := s.Extend(0, [][]int{{1, 2}})
-	s.Extend(r1.ID, [][]int{{3}})
-	s.Extend(r1.ID, [][]int{{-3}})
+	r1, _ := s.Extend(context.Background(), 0, [][]int{{1, 2}})
+	s.Extend(context.Background(), r1.ID, [][]int{{3}})
+	s.Extend(context.Background(), r1.ID, [][]int{{-3}})
 	if s.Refs() != 4 {
 		t.Errorf("refs = %d, want 4", s.Refs())
 	}
@@ -103,15 +106,48 @@ func TestCloseFreesEverything(t *testing.T) {
 	}
 }
 
+func TestExtendCancelledContext(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Extend(ctx, 0, [][]int{{1}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// No reference parked, no snapshot leaked beyond the root.
+	if s.Refs() != 1 {
+		t.Errorf("refs = %d, want 1 (root only)", s.Refs())
+	}
+	r, err := s.Extend(context.Background(), 0, [][]int{{1}})
+	if err != nil || r.Verdict != solver.Sat {
+		t.Errorf("service unusable after cancelled Extend: %+v, %v", r, err)
+	}
+}
+
+func TestCloseRefusesNewExtends(t *testing.T) {
+	s := New()
+	if _, err := s.Extend(context.Background(), 0, [][]int{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Extend(context.Background(), 0, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+	if s.LiveSnapshots() != 0 {
+		t.Errorf("live snapshots = %d after Close", s.LiveSnapshots())
+	}
+}
+
 func TestLearnedClausesCarry(t *testing.T) {
 	s := New()
 	defer s.Close()
 	// A problem hard enough to learn something.
-	r1, err := s.Extend(0, solver.Pigeonhole(4)[:20])
+	r1, err := s.Extend(context.Background(), 0, solver.Pigeonhole(4)[:20])
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Extend(r1.ID, solver.Pigeonhole(4)[20:])
+	r2, err := s.Extend(context.Background(), r1.ID, solver.Pigeonhole(4)[20:])
 	if err != nil {
 		t.Fatal(err)
 	}

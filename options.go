@@ -1,0 +1,48 @@
+package repro
+
+import "time"
+
+// Option tunes an Engine at construction. Options wrap (rather than
+// replace) core.Config: WithConfig seeds the whole struct and later
+// options override individual fields, so existing Config-based callers
+// migrate with NewEngine(m, WithConfig(cfg)).
+type Option func(*Config)
+
+// WithConfig replaces the engine configuration wholesale. Apply it first;
+// later options override its fields.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithStrategy schedules extension evaluation with st (default: DFS).
+func WithStrategy(st Strategy) Option { return func(c *Config) { c.Strategy = st } }
+
+// WithWorkers evaluates extensions on n simulated CPU cores (Fig. 2).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMaxSolutions stops the search after n recorded solutions. Prefer
+// Engine.Solutions with an early break when "first answer" is the goal.
+func WithMaxSolutions(n int) Option { return func(c *Config) { c.MaxSolutions = n } }
+
+// WithMaxNodes bounds evaluated extension steps (a safety net).
+func WithMaxNodes(n int64) Option { return func(c *Config) { c.MaxNodes = n } }
+
+// WithTimeout bounds the whole run; on expiry Run returns the partial
+// Result with context.DeadlineExceeded.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithDeadline is the absolute-time form of WithTimeout.
+func WithDeadline(t time.Time) Option { return func(c *Config) { c.Deadline = t } }
+
+// WithObserver streams engine telemetry (guesses, fails, solutions,
+// snapshots) to o — the hook point for metrics export. o must be cheap
+// and safe for concurrent calls.
+func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
+
+// WithOnSolution delivers each solution to fn as it surfaces; returning
+// Stop halts the search (queues drained, snapshots released).
+func WithOnSolution(fn func(Solution) Decision) Option {
+	return func(c *Config) { c.OnSolution = fn }
+}
+
+// WithKeepExitSnapshots captures a final snapshot for every exiting path
+// (released via Result.Release).
+func WithKeepExitSnapshots() Option { return func(c *Config) { c.KeepExitSnapshots = true } }

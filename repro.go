@@ -22,11 +22,25 @@
 // # Quickstart
 //
 //	alloc := repro.NewFrameAllocator(0)
-//	ctx, _ := repro.NewHostedContext(alloc, 4096)
-//	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
-//	res, _ := eng.Run(ctx)
+//	root, _ := repro.NewHostedContext(alloc, 4096)
+//	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.WithWorkers(4))
+//	res, _ := eng.Run(ctx, root)
 //
-// where step is a repro.StepFunc calling env.Guess / env.Fail / env.Exit.
+// where step is a repro.StepFunc calling env.Guess / env.Fail / env.Exit
+// and ctx is a context.Context: cancelling it (or a repro.WithTimeout /
+// repro.WithDeadline option) stops the search within one extension step,
+// releases every retained snapshot, and returns the partial Result with
+// ctx.Err().
+//
+// Solutions stream as they surface — either push-based through
+// repro.WithOnSolution / repro.WithObserver, or pull-based:
+//
+//	for sol, err := range eng.Solutions(ctx, root) {
+//	    if err != nil { ... }
+//	    use(sol)
+//	    break // stops workers and releases all snapshots
+//	}
+//
 // See examples/ for complete programs, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for the paper-vs-measured record.
 package repro
@@ -36,6 +50,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/guest"
 	"repro/internal/mem"
+	"repro/internal/search"
 	"repro/internal/snapshot"
 	"repro/internal/vm"
 )
@@ -57,6 +72,17 @@ type (
 	StepFunc = core.StepFunc
 	// Env is the system-call surface hosted steps use.
 	Env = core.Env
+	// Stats aggregates engine-level counters for one run.
+	Stats = core.Stats
+	// Decision is returned by solution hooks (Continue or Stop).
+	Decision = core.Decision
+	// Observer receives engine telemetry (OnGuess/OnFail/OnSolution/
+	// OnSnapshot) from the hot loop.
+	Observer = core.Observer
+	// FuncObserver adapts optional callbacks to Observer.
+	FuncObserver = core.FuncObserver
+	// Strategy is a search-scheduling policy (see DFS/BFS/AStar/Random).
+	Strategy = core.Strategy
 	// Context is the mutable execution state of one candidate.
 	Context = snapshot.Context
 	// State is a partial candidate: a lightweight immutable snapshot.
@@ -74,8 +100,36 @@ type (
 // HostedHeapBase is where NewHostedContext maps the hosted state heap.
 const HostedHeapBase = core.HostedHeapBase
 
-// NewEngine returns a backtracking engine running guests on m.
-func NewEngine(m Machine, cfg Config) *Engine { return core.New(m, cfg) }
+// Solution-hook decisions.
+const (
+	// Continue keeps searching after a streamed solution.
+	Continue = core.Continue
+	// Stop halts the search, draining queues and releasing snapshots.
+	Stop = core.Stop
+)
+
+// NewEngine returns a backtracking engine running guests on m, tuned by
+// functional options (see With*). With no options it behaves like the
+// zero Config: DFS, one worker, explore everything.
+func NewEngine(m Machine, opts ...Option) *Engine {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(m, cfg)
+}
+
+// DFS returns a depth-first strategy (the paper's default policy).
+func DFS() Strategy { return search.NewDFS[*snapshot.State]() }
+
+// BFS returns a breadth-first strategy.
+func BFS() Strategy { return search.NewBFS[*snapshot.State]() }
+
+// AStar returns a best-first strategy over depth + guest hints.
+func AStar() Strategy { return search.NewAStar[*snapshot.State]() }
+
+// Random returns a reproducible randomized strategy.
+func Random(seed uint64) Strategy { return search.NewRandom[*snapshot.State](seed) }
 
 // NewHostedMachine runs hosted step machines (Go extension steps whose
 // cross-step state lives in simulated memory).

@@ -1,8 +1,11 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -30,8 +33,8 @@ func TestFacadeHosted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := repro.NewEngine(repro.NewHostedMachine(step), repro.Config{})
-	res, err := eng.Run(ctx)
+	eng := repro.NewEngine(repro.NewHostedMachine(step))
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +77,8 @@ buf: .space 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := repro.NewEngine(repro.NewVMMachine(0), repro.Config{})
-	res, err := eng.Run(ctx)
+	eng := repro.NewEngine(repro.NewVMMachine(0))
+	res, err := eng.Run(context.Background(), ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,5 +96,122 @@ buf: .space 1
 func TestFacadeAssembleError(t *testing.T) {
 	if _, err := repro.Assemble("_start:\n  bogus rax"); err == nil {
 		t.Error("bad assembly accepted")
+	}
+}
+
+// queensStep is a façade-level N-Queens hosted guest. Heap layout:
+// [0]=placed count, [8..8+n*8)=columns, [8+n*8]=started.
+func queensStep(n uint64) repro.StepFunc {
+	return func(env *repro.Env) error {
+		m := env.Mem()
+		const base = repro.HostedHeapBase
+		offStarted := 8 + n*8
+		started, _ := m.ReadU64(base + offStarted)
+		if started == 0 {
+			m.WriteU64(base+offStarted, 1)
+			env.Guess(n)
+			return nil
+		}
+		placed, _ := m.ReadU64(base)
+		col := env.Choice()
+		for r := uint64(0); r < placed; r++ {
+			c, _ := m.ReadU64(base + 8 + r*8)
+			d := placed - r
+			if c == col || c+d == col || c == col+d {
+				env.Fail()
+				return nil
+			}
+		}
+		m.WriteU64(base+8+placed*8, col)
+		placed++
+		m.WriteU64(base, placed)
+		if placed == n {
+			for r := uint64(0); r < n; r++ {
+				c, _ := m.ReadU64(base + 8 + r*8)
+				env.Printf("%d", c)
+			}
+			env.Fail() // enumerate all boards
+			return nil
+		}
+		env.Guess(n)
+		return nil
+	}
+}
+
+// TestFacadeStreamingFirstSolution is the acceptance check: a streaming
+// caller obtains the first N-Queens solution without waiting for the full
+// search, and the early break leaves zero live snapshots and frames.
+func TestFacadeStreamingFirstSolution(t *testing.T) {
+	alloc := repro.NewFrameAllocator(0)
+	root, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(queensStep(8)), repro.WithWorkers(2))
+	var first string
+	for sol, err := range eng.Solutions(context.Background(), root) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		first = string(sol.Out)
+		break
+	}
+	if len(first) != 8 {
+		t.Fatalf("first board = %q, want 8 columns", first)
+	}
+	if live := eng.Tree().Live(); live != 0 {
+		t.Errorf("snapshot leak after early break: %d", live)
+	}
+	if live := alloc.Live(); live != 0 {
+		t.Errorf("frame leak after early break: %d", live)
+	}
+}
+
+// TestFacadeOptions exercises the functional-option construction path:
+// strategy, workers, solution cap, and observer all arrive in the engine.
+func TestFacadeOptions(t *testing.T) {
+	alloc := repro.NewFrameAllocator(0)
+	root, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	eng := repro.NewEngine(repro.NewHostedMachine(queensStep(6)),
+		repro.WithStrategy(repro.BFS()),
+		repro.WithWorkers(1),
+		repro.WithMaxSolutions(2),
+		repro.WithOnSolution(func(repro.Solution) repro.Decision { seen++; return repro.Continue }),
+	)
+	res, err := eng.Run(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "bfs" {
+		t.Errorf("strategy = %q, want bfs", res.Strategy)
+	}
+	if len(res.Solutions) != 2 || seen != 2 {
+		t.Errorf("solutions = %d, hook saw %d; want 2/2", len(res.Solutions), seen)
+	}
+}
+
+// TestFacadeTimeout bounds an exhaustive 10-queens run far below its
+// runtime; the partial result must come back with DeadlineExceeded.
+func TestFacadeTimeout(t *testing.T) {
+	alloc := repro.NewFrameAllocator(0)
+	root, err := repro.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(queensStep(10)),
+		repro.WithTimeout(20*time.Millisecond))
+	res, err := eng.Run(context.Background(), root)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || res.Stats.Nodes == 0 {
+		t.Fatalf("want partial progress, got %+v", res)
+	}
+	if live := alloc.Live(); live != 0 {
+		t.Errorf("frame leak after timeout: %d", live)
 	}
 }
