@@ -419,6 +419,73 @@ loop:
 	}
 }
 
+// --- E11: software-TLB write locality --------------------------------------
+
+func benchSamePageWrite(b *testing.B, tlbOn bool) {
+	b.Helper()
+	as := mem.NewAddressSpace(mem.NewFrameAllocator(0))
+	defer as.Release()
+	as.SetTLBEnabled(tlbOn)
+	if err := as.Map(0x10000, 64*mem.PageSize, mem.PermRW, "d"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.WriteU64(0x10000+uint64(i&511)*8, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := as.Stats(); tlbOn && st.TLBHits+st.TLBMisses != int64(b.N) {
+		b.Fatalf("hits+misses = %d, want %d", st.TLBHits+st.TLBMisses, b.N)
+	}
+}
+
+// BenchmarkE11SamePageWriteTLB is the repeated-write microbenchmark the
+// TLB exists for: every store after the first hits the write cache.
+func BenchmarkE11SamePageWriteTLB(b *testing.B)   { benchSamePageWrite(b, true) }
+func BenchmarkE11SamePageWriteNoTLB(b *testing.B) { benchSamePageWrite(b, false) }
+
+func benchSamePageRead(b *testing.B, tlbOn bool) {
+	b.Helper()
+	as := mem.NewAddressSpace(mem.NewFrameAllocator(0))
+	defer as.Release()
+	as.SetTLBEnabled(tlbOn)
+	if err := as.Map(0x10000, 64*mem.PageSize, mem.PermRW, "d"); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.WriteU64(0x10000, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := as.ReadU64(0x10000 + uint64(i&511)*8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11SamePageReadTLB(b *testing.B)   { benchSamePageRead(b, true) }
+func BenchmarkE11SamePageReadNoTLB(b *testing.B) { benchSamePageRead(b, false) }
+
+// BenchmarkE11StridedWriteAt exercises the run-length write path: one
+// 32-page store resolves its leaf node once per 512-page span instead of
+// walking from the root per page.
+func BenchmarkE11StridedWriteAt(b *testing.B) {
+	as := mem.NewAddressSpace(mem.NewFrameAllocator(0))
+	defer as.Release()
+	if err := as.Map(0x10000, 64*mem.PageSize, mem.PermRW, "d"); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 32*mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.WriteAt(buf, 0x10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkVMInterpreter measures raw interpreter throughput (instructions
 // per second) as context for every native-guest number above.
 func BenchmarkVMInterpreter(b *testing.B) {

@@ -32,6 +32,21 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 }
 
+// BenchmarkE11Quick keeps the TLB experiment wired into `go test -bench`
+// (and the CI one-iteration smoke): a regression that breaks the TLB win
+// or its counter plumbing fails here, not just in a manual snapbench run.
+func BenchmarkE11Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := E11(Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("E11 produced no rows")
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	e, err := ByID(4)
 	if err != nil || e.ID != 4 {

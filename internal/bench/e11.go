@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/queens"
+	"repro/internal/trace"
+)
+
+// E11 measures the software TLB added to the CoW pager: the per-access
+// page-table walk is the hot loop of the whole system (capture/restore is
+// O(1); the write path pays for sharing lazily), and the TLB collapses the
+// common case — repeated access to a page the space already privately owns
+// — to one mask+compare. The sweep varies write locality: a working set
+// within TLB reach should approach a 100% hit rate and a multiple of the
+// walk-per-access baseline's throughput; a set far beyond TLB reach
+// degrades toward it.
+func E11(o Options) (*trace.Table, error) {
+	writes := 1 << 20
+	sets := []int{1, 8, 64, 512, 4096}
+	queensN := 8
+	if o.Quick {
+		writes = 1 << 16
+		sets = []int{1, 64, 4096}
+		queensN = 6
+	}
+	t := &trace.Table{
+		Title:   fmt.Sprintf("E11: software-TLB write locality (%d writes)", writes),
+		Columns: []string{"workload", "pages", "tlb ns/op", "walk ns/op", "walk/tlb", "hit rate"},
+		Note:    "tlb = software TLB (default); walk = TLB disabled, radix walk per access",
+	}
+
+	base := uint64(0x100000)
+	build := func(pages int, enabled bool) (*mem.AddressSpace, error) {
+		as := mem.NewAddressSpace(mem.NewFrameAllocator(0))
+		as.SetTLBEnabled(enabled)
+		if err := as.Map(base, uint64(pages)*mem.PageSize, mem.PermRW, "data"); err != nil {
+			return nil, err
+		}
+		// Pre-touch so the sweep measures steady-state stores, not the
+		// first-fault zero fills.
+		for i := 0; i < pages; i++ {
+			if err := as.WriteU64(base+uint64(i)*mem.PageSize, 1); err != nil {
+				return nil, err
+			}
+		}
+		as.ResetStats()
+		return as, nil
+	}
+	sweep := func(pages int, enabled bool) (time.Duration, mem.Stats, error) {
+		as, err := build(pages, enabled)
+		if err != nil {
+			return 0, mem.Stats{}, err
+		}
+		defer as.Release()
+		start := time.Now()
+		for i := 0; i < writes; i++ {
+			// Round-robin over the working set, stores spread within the
+			// page — the shape of constraint-propagation updates.
+			addr := base + uint64(i%pages)*mem.PageSize + uint64(i%512)*8
+			if err := as.WriteU64(addr, uint64(i)); err != nil {
+				return 0, mem.Stats{}, err
+			}
+		}
+		return time.Since(start), as.Stats(), nil
+	}
+
+	for _, pages := range sets {
+		tlbTotal, st, err := sweep(pages, true)
+		if err != nil {
+			return nil, err
+		}
+		walkTotal, _, err := sweep(pages, false)
+		if err != nil {
+			return nil, err
+		}
+		hitRate := float64(st.TLBHits) / float64(st.TLBHits+st.TLBMisses)
+		t.AddRow("write-loop", pages,
+			fmt.Sprintf("%.1f", float64(tlbTotal.Nanoseconds())/float64(writes)),
+			fmt.Sprintf("%.1f", float64(walkTotal.Nanoseconds())/float64(writes)),
+			trace.Ratio(walkTotal, tlbTotal),
+			fmt.Sprintf("%.1f%%", 100*hitRate))
+	}
+
+	// End-to-end row: a full engine run, its TLB traffic observed through
+	// the Observer seam and cross-checked against Result.Stats — the whole
+	// mem.Stats → core.Stats → Observer plumbing in one line.
+	var obsHits, obsMisses int64
+	obs := &core.FuncObserver{StepStats: func(st mem.Stats) {
+		obsHits += st.TLBHits
+		obsMisses += st.TLBMisses
+	}}
+	alloc := mem.NewFrameAllocator(0)
+	root, err := queens.NewHostedContext(alloc, queensN)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.New(core.NewHostedMachine(queens.HostedStep(false)), core.Config{Observer: obs})
+	res, err := eng.Run(context.Background(), root)
+	if err != nil {
+		return nil, err
+	}
+	if obsHits != res.Stats.TLBHits || obsMisses != res.Stats.TLBMisses {
+		return nil, fmt.Errorf("bench: observer TLB counters %d/%d != engine %d/%d",
+			obsHits, obsMisses, res.Stats.TLBHits, res.Stats.TLBMisses)
+	}
+	total := res.Stats.TLBHits + res.Stats.TLBMisses
+	t.AddRow(fmt.Sprintf("queens-%d engine", queensN), "-", "-", "-", "-",
+		fmt.Sprintf("%.1f%%", 100*float64(res.Stats.TLBHits)/float64(max(total, 1))))
+	return t, nil
+}

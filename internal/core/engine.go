@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -116,6 +117,8 @@ type Stats struct {
 	CowCopies  int64
 	ZeroFills  int64
 	NodeClones int64
+	TLBHits    int64 // software-TLB hits across all extension contexts
+	TLBMisses  int64 // software-TLB misses (slow-path resolutions)
 }
 
 // Result reports a completed search.
@@ -142,7 +145,6 @@ func (r *Result) Release() {
 type Engine struct {
 	machine Machine
 	cfg     Config
-	obs     Observer
 	tree    *snapshot.Tree
 
 	mu       sync.Mutex
@@ -159,6 +161,8 @@ type Engine struct {
 	pathErr   error
 	fatal     error
 
+	ran atomic.Bool // Run already called (the contract allows one call)
+
 	nodes      atomic.Int64
 	guesses    atomic.Int64
 	fails      atomic.Int64
@@ -169,7 +173,14 @@ type Engine struct {
 	cowCopies  atomic.Int64
 	zeroFills  atomic.Int64
 	nodeClones atomic.Int64
+	tlbHits    atomic.Int64
+	tlbMisses  atomic.Int64
 }
+
+// ErrEngineReused is returned by Run (and surfaced by Solutions) when an
+// Engine is asked to run a second search: an Engine's strategy and stop
+// state are consumed by its first run, so each Engine drives at most one.
+var ErrEngineReused = errors.New("core: Engine.Run may be called at most once per Engine")
 
 // New returns an engine running guests on m.
 func New(m Machine, cfg Config) *Engine {
@@ -186,7 +197,7 @@ func New(m Machine, cfg Config) *Engine {
 	if st == nil {
 		st = search.NewDFS[*snapshot.State]()
 	}
-	e := &Engine{machine: m, cfg: cfg, obs: cfg.Observer, tree: snapshot.NewTree(), strategy: st}
+	e := &Engine{machine: m, cfg: cfg, tree: snapshot.NewTree(), strategy: st}
 	e.runThrough = st.Name() == "dfs" && !cfg.NoRunThrough
 	e.cond = sync.NewCond(&e.mu)
 	return e
@@ -202,8 +213,14 @@ func (e *Engine) Tree() *snapshot.Tree { return e.tree }
 // cancellation and deadline expiry return the *partial* Result alongside
 // ctx.Err(), with every queued extension drained and its snapshot
 // reference released. Guest crashes are counted in Stats.Errors and
-// sampled in Result.FirstPathError. Run may be called at most once.
+// sampled in Result.FirstPathError. Run may be called at most once: a
+// second call releases root and returns ErrEngineReused instead of
+// silently reusing the first run's drained strategy and stopped state.
 func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, error) {
+	if e.ran.Swap(true) {
+		root.Release()
+		return nil, ErrEngineReused
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -270,6 +287,8 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 			CowCopies:  e.cowCopies.Load(),
 			ZeroFills:  e.zeroFills.Load(),
 			NodeClones: e.nodeClones.Load(),
+			TLBHits:    e.tlbHits.Load(),
+			TLBMisses:  e.tlbMisses.Load(),
 		},
 	}
 	return res, ctx.Err()
@@ -340,6 +359,11 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 		e.cowCopies.Add(st.CowCopies)
 		e.zeroFills.Add(st.ZeroFills)
 		e.nodeClones.Add(st.NodeClones)
+		e.tlbHits.Add(st.TLBHits)
+		e.tlbMisses.Add(st.TLBMisses)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnStepStats(st)
+		}
 		ctx.Release()
 	}()
 
@@ -382,8 +406,8 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 		case EventGuess:
 			if ev.N == 0 { // sys_guess(0) ≡ sys_guess_fail
 				e.fails.Add(1)
-				if e.obs != nil {
-					e.obs.OnFail(depth)
+				if e.cfg.Observer != nil {
+					e.cfg.Observer.OnFail(depth)
 				}
 				e.recordEmission(parent, ctx)
 				return
@@ -395,9 +419,9 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			}
 			e.guesses.Add(1)
 			snap := e.tree.Capture(ctx, parent)
-			if e.obs != nil {
-				e.obs.OnGuess(depth, ev.N)
-				e.obs.OnSnapshot(snap.ID(), snap.Depth())
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnGuess(depth, ev.N)
+				e.cfg.Observer.OnSnapshot(snap.ID(), snap.Depth())
 			}
 			runThrough := e.runThrough && !e.halted.Load()
 			first := uint64(0)
@@ -456,8 +480,8 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			}
 			if e.cfg.KeepExitSnapshots {
 				sol.Final = e.tree.Capture(ctx, parent)
-				if e.obs != nil {
-					e.obs.OnSnapshot(sol.Final.ID(), sol.Final.Depth())
+				if e.cfg.Observer != nil {
+					e.cfg.Observer.OnSnapshot(sol.Final.ID(), sol.Final.Depth())
 				}
 			}
 			e.recordSolution(sol)
@@ -465,8 +489,8 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 
 		case EventFail:
 			e.fails.Add(1)
-			if e.obs != nil {
-				e.obs.OnFail(depth)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnFail(depth)
 			}
 			e.recordEmission(parent, ctx)
 			return
@@ -506,8 +530,8 @@ func (e *Engine) recordEmission(parent *snapshot.State, ctx *snapshot.Context) {
 }
 
 func (e *Engine) recordSolution(sol Solution) {
-	if e.obs != nil {
-		e.obs.OnSolution(sol)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnSolution(sol)
 	}
 	decision := Continue
 	if e.cfg.OnSolution != nil {

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/queens"
+)
+
+// TestRunTwiceReturnsError enforces the documented "Run may be called at
+// most once" contract: a second call must fail loudly instead of reusing
+// the drained strategy and stopped state, and must release the root it
+// took ownership of.
+func TestRunTwiceReturnsError(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	root, err := core.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(core.NewHostedMachine(func(env *core.Env) error {
+		env.Exit(0)
+		return nil
+	}), core.Config{})
+	if _, err := eng.Run(context.Background(), root); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+
+	root2, err := core.NewHostedContext(alloc, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root2.Mem.WriteU64(core.HostedHeapBase, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), root2)
+	if !errors.Is(err, core.ErrEngineReused) {
+		t.Fatalf("second Run = %v, want ErrEngineReused", err)
+	}
+	if res != nil {
+		t.Errorf("second Run returned a Result: %+v", res)
+	}
+	if live := alloc.Live(); live != 0 {
+		t.Errorf("second Run leaked %d frames (root2 not released)", live)
+	}
+}
+
+// TestStatsTLBCounters checks the counter plumbing end to end: the
+// engine's aggregate TLB hit/miss numbers must equal the per-step stats
+// delivered through the Observer, and a real workload must actually hit.
+func TestStatsTLBCounters(t *testing.T) {
+	var mu sync.Mutex
+	var obsHits, obsMisses int64
+	obs := &core.FuncObserver{
+		StepStats: func(st mem.Stats) {
+			mu.Lock()
+			obsHits += st.TLBHits
+			obsMisses += st.TLBMisses
+			mu.Unlock()
+		},
+	}
+	alloc := mem.NewFrameAllocator(0)
+	root, err := queens.NewHostedContext(alloc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(core.NewHostedMachine(queens.HostedStep(false)),
+		core.Config{Workers: 2, Observer: obs})
+	res, err := eng.Run(context.Background(), root)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Solutions) != 4 {
+		t.Fatalf("solutions = %d, want 4 (6-queens)", len(res.Solutions))
+	}
+	if res.Stats.TLBHits == 0 || res.Stats.TLBMisses == 0 {
+		t.Fatalf("TLB counters empty: %+v", res.Stats)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if obsHits != res.Stats.TLBHits || obsMisses != res.Stats.TLBMisses {
+		t.Errorf("observer saw %d/%d, engine counted %d/%d",
+			obsHits, obsMisses, res.Stats.TLBHits, res.Stats.TLBMisses)
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/mem"
+
 // Decision is returned by solution hooks to direct the engine after a
 // solution surfaces.
 type Decision uint8
@@ -37,15 +39,22 @@ type Observer interface {
 	OnSolution(sol Solution)
 	// OnSnapshot reports a captured partial candidate.
 	OnSnapshot(id uint64, depth int)
+	// OnStepStats reports the memory-subsystem counters (CoW copies,
+	// zero fills, node clones, software-TLB hits/misses) accumulated by
+	// one completed extension evaluation — a run-through chain reports
+	// once for the whole chain. The engine folds the same numbers into
+	// Result.Stats; the callback exists for live hit-rate dashboards.
+	OnStepStats(st mem.Stats)
 }
 
 // FuncObserver adapts optional callbacks to Observer; nil fields are
 // no-ops, so callers can subscribe to a single event kind.
 type FuncObserver struct {
-	Guess    func(depth int, fanout uint64)
-	Fail     func(depth int)
-	Solution func(sol Solution)
-	Snapshot func(id uint64, depth int)
+	Guess     func(depth int, fanout uint64)
+	Fail      func(depth int)
+	Solution  func(sol Solution)
+	Snapshot  func(id uint64, depth int)
+	StepStats func(st mem.Stats)
 }
 
 // OnGuess implements Observer.
@@ -73,5 +82,12 @@ func (o *FuncObserver) OnSolution(sol Solution) {
 func (o *FuncObserver) OnSnapshot(id uint64, depth int) {
 	if o.Snapshot != nil {
 		o.Snapshot(id, depth)
+	}
+}
+
+// OnStepStats implements Observer.
+func (o *FuncObserver) OnStepStats(st mem.Stats) {
+	if o.StepStats != nil {
+		o.StepStats(st)
 	}
 }

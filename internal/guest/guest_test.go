@@ -250,3 +250,37 @@ func TestQuickALUAgainstGo(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadExecOnlySegment is the loader regression for WriteForce: an
+// image whose text segment carries --x (no read bit) must still load and
+// run — the loader path may not require guest readability.
+func TestLoadExecOnlySegment(t *testing.T) {
+	b := guest.NewBuilder()
+	b.Label("_start")
+	b.MovI(vm.RAX, 7)
+	b.Hlt()
+	img := b.MustLink()
+	for i := range img.Segments {
+		if img.Segments[i].Name == "text" {
+			img.Segments[i].Perm = mem.PermExec
+		}
+	}
+	as, regs, err := guest.Load(img, mem.NewFrameAllocator(0), guest.LoadOptions{})
+	if err != nil {
+		t.Fatalf("Load of exec-only image: %v", err)
+	}
+	defer as.Release()
+	cpu := vm.New(as)
+	cpu.Regs = regs
+	if trap := cpu.Run(0); trap.Kind != vm.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	if got := cpu.Regs.Get(vm.RAX); got != 7 {
+		t.Errorf("rax = %d, want 7", got)
+	}
+	// The exec-only text stays unreadable to guest loads.
+	var buf [1]byte
+	if rerr := as.ReadAt(buf[:], guest.CodeBase); rerr == nil {
+		t.Error("guest read of exec-only text succeeded")
+	}
+}

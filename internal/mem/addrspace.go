@@ -21,15 +21,20 @@ func (v VMA) Size() uint64 { return v.End - v.Start }
 func (v VMA) contains(addr uint64) bool { return addr >= v.Start && addr < v.End }
 
 // AddressSpace is one mutable guest address space: a VMA list plus a
-// persistent page table. Forking an address space is O(1): the fork shares
-// the frozen page-table root and both sides copy-on-write from then on.
+// persistent page table and a software TLB caching hot translations (see
+// tlb.go). Forking an address space is O(1): the fork shares the frozen
+// page-table root and both sides copy-on-write from then on.
 //
-// An AddressSpace is owned by a single goroutine. The *shared* structures
-// underneath (frames, table nodes) use atomic refcounts, so address spaces
-// forked from a common snapshot may be used from different goroutines
+// An AddressSpace is owned by a single goroutine — reads fill the TLB, so
+// even read-only use mutates internal state. The exceptions are a frozen
+// space (Freeze), whose TLB is inert and which may therefore be read and
+// forked from many goroutines at once, and the *shared* structures
+// underneath (frames, table nodes), whose atomic refcounts let address
+// spaces forked from a common snapshot run on different goroutines
 // concurrently.
 type AddressSpace struct {
 	pt    pageTable
+	tlb   tlb
 	vmas  []VMA // sorted by Start, non-overlapping
 	brk   uint64
 	stats Stats
@@ -43,11 +48,39 @@ func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
 // Alloc returns the frame allocator backing this space.
 func (as *AddressSpace) Alloc() *FrameAllocator { return as.pt.alloc }
 
-// Stats returns the event counters accumulated by this space.
-func (as *AddressSpace) Stats() Stats { return as.stats }
+// Stats returns the event counters accumulated by this space, folding in
+// the TLB hit/miss counters kept alongside the TLB entries.
+func (as *AddressSpace) Stats() Stats {
+	s := as.stats
+	s.TLBHits = as.tlb.hits
+	s.TLBMisses = as.tlb.misses
+	return s
+}
 
 // ResetStats zeroes the event counters (benchmark plumbing).
-func (as *AddressSpace) ResetStats() { as.stats = Stats{} }
+func (as *AddressSpace) ResetStats() {
+	as.stats = Stats{}
+	as.tlb.hits, as.tlb.misses = 0, 0
+}
+
+// Freeze marks the space as a frozen snapshot view: the TLB is flushed and
+// disabled, so subsequent reads and forks never mutate the space. Capture
+// paths call this before sharing a space across goroutines; a frozen space
+// must not be written.
+func (as *AddressSpace) Freeze() {
+	as.tlb.off = true
+	as.tlb.flush()
+}
+
+// SetTLBEnabled toggles the software TLB (benchmark plumbing: the disabled
+// state measures the pre-TLB walk-per-access baseline). Disabling flushes
+// every entry; hit/miss counters stop advancing while disabled.
+func (as *AddressSpace) SetTLBEnabled(on bool) {
+	as.tlb.off = !on
+	if !on {
+		as.tlb.flush()
+	}
+}
 
 // VMAs returns a copy of the region list.
 func (as *AddressSpace) VMAs() []VMA {
@@ -98,6 +131,9 @@ func (as *AddressSpace) Unmap(start, length uint64) error {
 		return fmt.Errorf("mem: Unmap: unaligned range [%#x,+%#x)", start, length)
 	}
 	end := start + length
+	if end > MaxVA || end < start {
+		return &Fault{Kind: FaultBadAddress, Addr: start}
+	}
 	var out []VMA
 	for _, v := range as.vmas {
 		switch {
@@ -119,6 +155,7 @@ func (as *AddressSpace) Unmap(start, length uint64) error {
 	for addr := start; addr < end; addr += PageSize {
 		as.pt.clearPage(addr, &as.stats)
 	}
+	as.tlb.flush() // cached translations and permissions are stale
 	return nil
 }
 
@@ -129,6 +166,9 @@ func (as *AddressSpace) Protect(start, length uint64, perm Perm) error {
 		return fmt.Errorf("mem: Protect: unaligned range [%#x,+%#x)", start, length)
 	}
 	end := start + length
+	if end > MaxVA || end < start {
+		return &Fault{Kind: FaultBadAddress, Addr: start}
+	}
 	for addr := start; addr < end; {
 		v := as.findVMA(addr)
 		if v == nil {
@@ -153,6 +193,7 @@ func (as *AddressSpace) Protect(start, length uint64, perm Perm) error {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	as.vmas = out
+	as.tlb.flush() // cached entries encode the old permissions
 	return nil
 }
 
@@ -179,6 +220,11 @@ func (as *AddressSpace) Brk(newBrk uint64) (uint64, error) {
 	if newBrk < heap.Start {
 		return as.brk, fmt.Errorf("mem: Brk: %#x below heap base %#x", newBrk, heap.Start)
 	}
+	if newBrk > MaxVA {
+		// Like Map/Unmap/Protect: never report success for a range the
+		// address space cannot grant (PageCeil would silently clamp).
+		return as.brk, &Fault{Kind: FaultBadAddress, Addr: newBrk}
+	}
 	newEnd := PageCeil(newBrk)
 	if newEnd > heap.End {
 		// Refuse to grow into a neighbouring region.
@@ -195,13 +241,16 @@ func (as *AddressSpace) Brk(newBrk uint64) (uint64, error) {
 		for addr := start; addr < start+length; addr += PageSize {
 			as.pt.clearPage(addr, &as.stats)
 		}
+		as.tlb.flush() // dropped frames may be cached
 	}
 	as.brk = newBrk
 	return as.brk, nil
 }
 
 // check validates an n-byte access at addr, returning the fault that a real
-// MMU would raise, or nil. The range may span multiple contiguous VMAs.
+// MMU would raise, or nil. The range may span multiple contiguous VMAs; the
+// permission verdict for each VMA covers every page of the access inside
+// it, so one call validates the whole range regardless of page count.
 func (as *AddressSpace) check(addr uint64, n int, access Access) error {
 	if n == 0 {
 		return nil
@@ -224,6 +273,28 @@ func (as *AddressSpace) check(addr uint64, n int, access Access) error {
 	return nil
 }
 
+// checkMapped validates that every page of the n-byte range at addr is
+// mapped, ignoring protection — the kernel/loader counterpart of check,
+// used by WriteForce to populate read-only, exec-only and write-only
+// segments.
+func (as *AddressSpace) checkMapped(addr uint64, n int) error {
+	if n == 0 {
+		return nil
+	}
+	end := addr + uint64(n)
+	if end > MaxVA || end < addr {
+		return &Fault{Kind: FaultBadAddress, Addr: addr, Access: AccessWrite}
+	}
+	for a := addr; a < end; {
+		v := as.findVMA(a)
+		if v == nil {
+			return &Fault{Kind: FaultNotMapped, Addr: a, Access: AccessWrite}
+		}
+		a = v.End
+	}
+	return nil
+}
+
 // ReadAt copies len(p) bytes at addr into p, observing region protection.
 // Unwritten pages read as zeroes (demand-zero).
 func (as *AddressSpace) ReadAt(p []byte, addr uint64) error {
@@ -236,57 +307,124 @@ func (as *AddressSpace) FetchAt(p []byte, addr uint64) error {
 }
 
 func (as *AddressSpace) read(p []byte, addr uint64, access Access) error {
-	if err := as.check(addr, len(p), access); err != nil {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	// TLB fast path: a single-page read whose page is cached needs no VMA
+	// check (the entry asserts PermRead) and no radix walk.
+	if access == AccessRead {
+		if off := int(addr & PageMask); off+n <= PageSize {
+			if f, ok := as.tlb.readFrame(addr >> PageShift); ok {
+				if f != nil {
+					copy(p, f.Data[off:off+n])
+				} else {
+					clear(p)
+				}
+				return nil
+			}
+		}
+	}
+	if err := as.check(addr, n, access); err != nil {
 		return err
 	}
 	for len(p) > 0 {
 		off := int(addr & PageMask)
-		n := min(PageSize-off, len(p))
-		if f := lookup(as.pt.root, addr); f != nil {
-			copy(p[:n], f.Data[off:off+n])
+		k := min(PageSize-off, len(p))
+		var f *Frame
+		if access == AccessRead {
+			var ok bool
+			if f, ok = as.tlb.readFrame(addr >> PageShift); !ok {
+				f = lookup(as.pt.root, addr)
+				as.tlb.fillRead(addr>>PageShift, f)
+			}
 		} else {
-			clear(p[:n])
+			// Instruction fetches stay out of the TLB and its hit/miss
+			// accounting; the CPU keeps its own fetch TLB.
+			f = lookup(as.pt.root, addr)
 		}
-		p = p[n:]
-		addr += uint64(n)
+		if f != nil {
+			copy(p[:k], f.Data[off:off+k])
+		} else {
+			clear(p[:k])
+		}
+		p = p[k:]
+		addr += uint64(k)
 	}
 	return nil
 }
 
 // WriteAt stores p at addr, observing region protection. Writes to pages
-// shared with a snapshot take a CoW fault and copy the page first.
+// shared with a snapshot take a CoW fault and copy the page first. The
+// common case — repeated stores to a page this space already privately
+// owns — hits the software TLB and touches no page-table state at all.
 func (as *AddressSpace) WriteAt(p []byte, addr uint64) error {
-	if err := as.check(addr, len(p), AccessWrite); err != nil {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	// TLB fast path: single-page store to a privately-owned page.
+	if off := int(addr & PageMask); off+n <= PageSize {
+		if f, ok := as.tlb.writeFrame(addr >> PageShift); ok {
+			copy(f.Data[off:off+n], p)
+			return nil
+		}
+	}
+	if err := as.check(addr, n, AccessWrite); err != nil {
 		return err
 	}
-	for len(p) > 0 {
-		off := int(addr & PageMask)
-		n := min(PageSize-off, len(p))
-		f, err := as.pt.ensureWritable(addr, &as.stats)
-		if err != nil {
-			return err
-		}
-		copy(f.Data[off:off+n], p[:n])
-		p = p[n:]
-		addr += uint64(n)
-	}
-	return nil
+	return as.writePages(p, addr, false)
 }
 
 // WriteForce stores p at addr ignoring write protection (the range must
-// still be mapped). This is the kernel/loader path used to populate
-// read-only and executable segments; guest-originated writes must use
-// WriteAt.
+// still be mapped, but may be read-only, exec-only or write-only). This is
+// the kernel/loader path used to populate segments; guest-originated
+// writes must use WriteAt. WriteForce bypasses the guest TLB accounting:
+// it fills no entries (the pages may grant the guest no access at all) and
+// only refreshes read entries whose frames it CoW-replaces.
 func (as *AddressSpace) WriteForce(p []byte, addr uint64) error {
-	if err := as.check(addr, len(p), AccessRead); err != nil {
+	if err := as.checkMapped(addr, len(p)); err != nil {
 		return err
 	}
+	return as.writePages(p, addr, true)
+}
+
+// writePages is the shared slow-path store loop: the access has been
+// validated, and each page needs a privately-owned frame. The enclosing
+// leaf node is resolved once per 512-page span (run-length), so large
+// writes pay one radix walk per span plus one refcount check per page
+// instead of a full walk per page.
+func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
+	var leaf *tableNode
+	leafBase := ^uint64(0)
 	for len(p) > 0 {
 		off := int(addr & PageMask)
 		n := min(PageSize-off, len(p))
-		f, err := as.pt.ensureWritable(addr, &as.stats)
-		if err != nil {
-			return err
+		vpn := addr >> PageShift
+		var f *Frame
+		if force {
+			// Peek without charging guest hit accounting.
+			if e := as.tlb.e; e != nil && e.wtag[vpn&tlbMask] == vpn+1 {
+				f = e.wframe[vpn&tlbMask]
+			}
+		} else if hit, ok := as.tlb.writeFrame(vpn); ok {
+			f = hit
+		}
+		if f == nil {
+			if base := vpn >> levelBits; leaf == nil || base != leafBase {
+				leaf = as.pt.ensureLeaf(addr, &as.stats)
+				leafBase = base
+			}
+			var err error
+			f, err = as.pt.ensureFrame(leaf, int(vpn&levelMask), &as.stats)
+			if err != nil {
+				return err
+			}
+			if force {
+				as.tlb.refreshRead(vpn, f)
+			} else {
+				as.tlb.fillWrite(vpn, f)
+			}
 		}
 		copy(f.Data[off:off+n], p[:n])
 		p = p[n:]
@@ -296,13 +434,23 @@ func (as *AddressSpace) WriteForce(p []byte, addr uint64) error {
 }
 
 // ReadU64 loads a little-endian 64-bit word. Aligned loads take the
-// single-page fast path.
+// single-page fast path: a TLB hit is one mask+compare, no VMA check and
+// no radix walk.
 func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	if addr&7 == 0 {
+		vpn := addr >> PageShift
+		if f, ok := as.tlb.readFrame(vpn); ok {
+			if f == nil {
+				return 0, nil
+			}
+			off := addr & PageMask
+			return binary.LittleEndian.Uint64(f.Data[off : off+8]), nil
+		}
 		if err := as.check(addr, 8, AccessRead); err != nil {
 			return 0, err
 		}
 		f := lookup(as.pt.root, addr)
+		as.tlb.fillRead(vpn, f)
 		if f == nil {
 			return 0, nil
 		}
@@ -316,9 +464,17 @@ func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
-// WriteU64 stores a little-endian 64-bit word.
+// WriteU64 stores a little-endian 64-bit word. Aligned stores to a page
+// this space privately owns hit the write TLB and bypass the page table
+// entirely.
 func (as *AddressSpace) WriteU64(addr, val uint64) error {
 	if addr&7 == 0 {
+		vpn := addr >> PageShift
+		off := addr & PageMask
+		if f, ok := as.tlb.writeFrame(vpn); ok {
+			binary.LittleEndian.PutUint64(f.Data[off:off+8], val)
+			return nil
+		}
 		if err := as.check(addr, 8, AccessWrite); err != nil {
 			return err
 		}
@@ -326,7 +482,7 @@ func (as *AddressSpace) WriteU64(addr, val uint64) error {
 		if err != nil {
 			return err
 		}
-		off := addr & PageMask
+		as.tlb.fillWrite(vpn, f)
 		binary.LittleEndian.PutUint64(f.Data[off:off+8], val)
 		return nil
 	}
@@ -385,7 +541,17 @@ func (as *AddressSpace) ReadCString(addr uint64, maxLen int) (string, error) {
 // Fork returns an O(1) logical copy of the address space. Parent and child
 // share every page copy-on-write; the VMA list and break are duplicated.
 // This is the primitive lightweight snapshots build on.
+//
+// Fork is a sharing boundary: the parent's privately-owned pages become
+// shared the instant the fork exists, so its write-TLB entries (which
+// cache private ownership) are flushed. The flush is skipped when no write
+// entry is live — in particular on frozen snapshot spaces, which are
+// forked concurrently by restoring workers and must not be mutated. The
+// child starts with an empty TLB.
 func (as *AddressSpace) Fork() *AddressSpace {
+	if as.tlb.wdirty {
+		as.tlb.flushWrite()
+	}
 	if as.pt.root != nil {
 		retainNode(as.pt.root)
 	}
@@ -406,6 +572,7 @@ func (as *AddressSpace) Release() {
 		as.pt.root = nil
 	}
 	as.vmas = nil
+	as.tlb.flush() // cached frames were just released
 }
 
 // Footprint walks the page table and reports residency and sharing.
@@ -434,9 +601,17 @@ func (as *AddressSpace) FrameAt(addr uint64) *Frame { return lookup(as.pt.root, 
 // taking the CoW fault eagerly. Benchmarks use it to charge fault costs at
 // controlled points.
 func (as *AddressSpace) TouchWritable(addr uint64) error {
+	vpn := addr >> PageShift
+	if _, ok := as.tlb.writeFrame(vpn); ok {
+		return nil // already privately owned
+	}
 	if err := as.check(addr, 1, AccessWrite); err != nil {
 		return err
 	}
-	_, err := as.pt.ensureWritable(addr, &as.stats)
-	return err
+	f, err := as.pt.ensureWritable(addr, &as.stats)
+	if err != nil {
+		return err
+	}
+	as.tlb.fillWrite(vpn, f)
+	return nil
 }

@@ -603,10 +603,11 @@ func TestConcurrentForkWriters(t *testing.T) {
 
 func TestStatsAccumulate(t *testing.T) {
 	var a, b Stats
-	a = Stats{CowCopies: 1, ZeroFills: 2, NodeClones: 3}
+	a = Stats{CowCopies: 1, ZeroFills: 2, NodeClones: 3, TLBHits: 4, TLBMisses: 5}
 	b.Add(a)
 	b.Add(a)
-	if b.CowCopies != 2 || b.ZeroFills != 4 || b.NodeClones != 6 {
+	if b.CowCopies != 2 || b.ZeroFills != 4 || b.NodeClones != 6 ||
+		b.TLBHits != 8 || b.TLBMisses != 10 {
 		t.Errorf("Stats.Add broken: %+v", b)
 	}
 }

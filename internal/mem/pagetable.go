@@ -101,10 +101,12 @@ type pageTable struct {
 	alloc *FrameAllocator
 }
 
-// ensureWritable returns a frame backing addr that is exclusively owned by
-// this table, path-copying shared nodes and CoW-copying a shared frame.
-// stats is charged for clones, zero fills and CoW copies.
-func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
+// ensureLeaf returns the exclusively-owned level-0 node covering addr,
+// path-copying every shared node from the root down. The leaf spans
+// levelSize contiguous pages, so run-length write paths resolve it once
+// per span instead of re-walking from the root per page. stats is charged
+// for node clones.
+func (pt *pageTable) ensureLeaf(addr uint64, stats *Stats) *tableNode {
 	if pt.root == nil {
 		pt.root = newNode(numLevels - 1)
 	} else if pt.root.ref.Load() > 1 {
@@ -130,8 +132,15 @@ func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
 		}
 		n = child
 	}
-	idx := levelIndex(addr, 0)
-	f := n.ptes[idx]
+	return n
+}
+
+// ensureFrame returns a privately-owned frame at leaf.ptes[idx],
+// materializing a demand-zero page or CoW-copying a shared one. leaf must
+// be exclusively owned (returned by ensureLeaf). stats is charged for
+// zero fills and CoW copies.
+func (pt *pageTable) ensureFrame(leaf *tableNode, idx int, stats *Stats) (*Frame, error) {
+	f := leaf.ptes[idx]
 	switch {
 	case f == nil:
 		var err error
@@ -139,7 +148,7 @@ func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.ptes[idx] = f
+		leaf.ptes[idx] = f
 		stats.ZeroFills++
 	case f.ref.Load() > 1:
 		c, err := pt.alloc.clone(f)
@@ -147,11 +156,18 @@ func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
 			return nil, err
 		}
 		pt.alloc.release(f)
-		n.ptes[idx] = c
+		leaf.ptes[idx] = c
 		f = c
 		stats.CowCopies++
 	}
 	return f, nil
+}
+
+// ensureWritable returns a frame backing addr that is exclusively owned by
+// this table, path-copying shared nodes and CoW-copying a shared frame.
+// stats is charged for clones, zero fills and CoW copies.
+func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
+	return pt.ensureFrame(pt.ensureLeaf(addr, stats), levelIndex(addr, 0), stats)
 }
 
 // clearPage drops the frame backing addr if one exists. The path is made

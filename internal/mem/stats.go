@@ -1,14 +1,25 @@
 package mem
 
-// Stats counts the fault-path events one address space observed. Only
-// rare events are counted — per-access counters would put a store on the
-// read/write fast path and, worse, false-share cache lines between
-// neighbouring address spaces evaluated on different cores (measured as a
-// 2x parallel slowdown before they were removed).
+// Stats counts the fault-path and TLB events one address space observed.
+// The fault counters (CowCopies, ZeroFills, NodeClones) are charged only
+// on rare slow-path events. The TLB counters are per-access, but their
+// backing stores live inside the address space's own tlb struct — cache
+// lines the fast path touches anyway — not in a shared block, so
+// neighbouring address spaces evaluated on different cores do not
+// false-share them (an earlier per-access counter in a shared line was
+// measured as a 2x parallel slowdown and removed).
 type Stats struct {
 	CowCopies  int64 // pages copied by copy-on-write faults
 	ZeroFills  int64 // demand-zero pages materialized
 	NodeClones int64 // page-table nodes path-copied
+
+	// TLBHits and TLBMisses count per-page software-TLB outcomes for
+	// guest read and write data accesses (instruction fetches and the
+	// kernel WriteForce path are not counted). For every such access,
+	// each page-sized unit increments exactly one of the two, so
+	// TLBHits+TLBMisses equals the number of page accesses issued.
+	TLBHits   int64
+	TLBMisses int64
 }
 
 // Add accumulates o into s.
@@ -16,4 +27,6 @@ func (s *Stats) Add(o Stats) {
 	s.CowCopies += o.CowCopies
 	s.ZeroFills += o.ZeroFills
 	s.NodeClones += o.NodeClones
+	s.TLBHits += o.TLBHits
+	s.TLBMisses += o.TLBMisses
 }

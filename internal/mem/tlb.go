@@ -1,0 +1,179 @@
+package mem
+
+import "sync"
+
+// The software TLB: two small direct-mapped caches per address space that
+// short-circuit the hot path of the whole system. The paper's cost model
+// makes snapshot capture/restore O(1) and pushes all sharing cost onto the
+// write path, so the per-access work — VMA permission check, 4-level radix
+// walk, atomic refcount loads — is what every guest load and store pays.
+// The TLB caches the *result* of that work per virtual page:
+//
+//   - a read entry (vpn → frame) asserts the page is mapped with PermRead
+//     and names its backing frame (nil = demand-zero);
+//   - a write entry (vpn → frame) asserts the page is mapped with
+//     PermWrite and that the frame is privately owned by this space, so a
+//     store may go straight to frame memory with no CoW check.
+//
+// Because entries cache permission and ownership decisions, they must be
+// invalidated at every boundary that could change either:
+//
+//   - Fork: the parent's privately-owned pages become shared the instant a
+//     fork exists, so Fork flushes the parent's write entries (read
+//     entries stay valid — a newly shared frame is still the correct
+//     backing for reads until this space writes it);
+//   - Unmap, Protect, Brk shrink: mappings or permissions change, so both
+//     caches flush;
+//   - Release: the frames are gone, so both caches flush.
+//
+// A frozen snapshot space is read concurrently by workers restoring it
+// (State.Restore forks it from many goroutines at once), so Freeze
+// disables the TLB entirely: probes can never match (the entries are
+// dropped) and fills become no-ops, keeping frozen reads write-free.
+//
+// The entry arrays live behind a lazily-allocated pointer so that Fork —
+// the O(1) snapshot primitive the paper's latency claims rest on — pays
+// nothing for the TLB: a fresh fork starts with no entry block and
+// allocates one only when its first slow-path access fills an entry.
+type tlb struct {
+	// off suppresses fills (and therefore future hits): set for frozen
+	// snapshot spaces and for benchmark baselines.
+	off bool
+	// wdirty is true when any write entry may be live; it lets Fork on a
+	// frozen, never-written space skip the flush (and thus stay free of
+	// writes under concurrent restores).
+	wdirty bool
+
+	// hits and misses count per-page fast-path outcomes for guest read
+	// and write accesses. They live here, not in Stats, so the hot path
+	// touches only cache lines it already owns; Stats() folds them in.
+	hits   int64
+	misses int64
+
+	e *tlbEntries // nil until the first fill
+}
+
+const (
+	tlbBits = 6 // 64 entries per cache
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntries is the direct-mapped entry block. Tags hold vpn+1 so the zero
+// value is invalid (vpn 0 — address 0 — is mappable).
+type tlbEntries struct {
+	rtag   [tlbSize]uint64
+	rframe [tlbSize]*Frame
+	wtag   [tlbSize]uint64
+	wframe [tlbSize]*Frame
+}
+
+// tlbEntriesPool recycles entry blocks: the engine restores (forks) one
+// short-lived address space per extension step, and allocating a fresh
+// block per context showed up as GC pressure in engine profiles. Blocks
+// are zeroed before Put, so Get always returns an all-invalid block.
+var tlbEntriesPool = sync.Pool{New: func() any { return new(tlbEntries) }}
+
+// readFrame probes the read cache. On a hit it charges the hit and returns
+// the cached frame (nil frame = demand-zero page, ok = true).
+func (t *tlb) readFrame(vpn uint64) (*Frame, bool) {
+	e := t.e
+	if e == nil {
+		return nil, false
+	}
+	i := vpn & tlbMask
+	if e.rtag[i] != vpn+1 {
+		return nil, false
+	}
+	t.hits++
+	return e.rframe[i], true
+}
+
+// writeFrame probes the write cache. On a hit it charges the hit and
+// returns the privately-owned frame.
+func (t *tlb) writeFrame(vpn uint64) (*Frame, bool) {
+	e := t.e
+	if e == nil {
+		return nil, false
+	}
+	i := vpn & tlbMask
+	if e.wtag[i] != vpn+1 {
+		return nil, false
+	}
+	t.hits++
+	return e.wframe[i], true
+}
+
+// entries returns the entry block, taking one from the pool on first use.
+func (t *tlb) entries() *tlbEntries {
+	if t.e == nil {
+		t.e = tlbEntriesPool.Get().(*tlbEntries)
+	}
+	return t.e
+}
+
+// fillRead records vpn → f (nil f = demand-zero) after a slow-path read
+// resolution, charging one miss.
+func (t *tlb) fillRead(vpn uint64, f *Frame) {
+	if t.off {
+		return
+	}
+	t.misses++
+	e := t.entries()
+	i := vpn & tlbMask
+	e.rtag[i] = vpn + 1
+	e.rframe[i] = f
+}
+
+// fillWrite records vpn → f after a slow-path write resolution, charging
+// one miss. f is privately owned (ensureFrame guarantees it). The read
+// entry for vpn, if present, is refreshed: a CoW copy just replaced the
+// frame the reader cached.
+func (t *tlb) fillWrite(vpn uint64, f *Frame) {
+	if t.off {
+		return
+	}
+	t.misses++
+	t.wdirty = true
+	e := t.entries()
+	i := vpn & tlbMask
+	e.wtag[i] = vpn + 1
+	e.wframe[i] = f
+	if e.rtag[i] == vpn+1 {
+		e.rframe[i] = f
+	}
+}
+
+// refreshRead updates an existing read entry for vpn to point at f. Used
+// by the kernel write path (WriteForce), which may CoW-replace a frame but
+// must not assert guest readability or writability (the page may be
+// exec-only), and which stays out of the hit/miss accounting.
+func (t *tlb) refreshRead(vpn uint64, f *Frame) {
+	e := t.e
+	if e == nil {
+		return
+	}
+	if i := vpn & tlbMask; e.rtag[i] == vpn+1 {
+		e.rframe[i] = f
+	}
+}
+
+// flushWrite drops every write entry (sharing boundary: Fork).
+func (t *tlb) flushWrite() {
+	if t.e != nil {
+		t.e.wtag = [tlbSize]uint64{}
+	}
+	t.wdirty = false
+}
+
+// flush drops every entry (mapping/permission change or release) and
+// returns the block to the pool: flush points are cold, and a released
+// space should not pin its block.
+func (t *tlb) flush() {
+	if e := t.e; e != nil {
+		*e = tlbEntries{} // the next owner must see an all-invalid block
+		tlbEntriesPool.Put(e)
+		t.e = nil
+	}
+	t.wdirty = false
+}

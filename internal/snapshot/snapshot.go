@@ -134,11 +134,16 @@ func NewTree() *Tree { return &Tree{} }
 func (t *Tree) Capture(ctx *Context, parent *State) *State {
 	out := make([]byte, len(ctx.Out))
 	copy(out, ctx.Out)
+	frozen := ctx.Mem.Fork()
+	// A captured space is shared across goroutines (restores fork it,
+	// inspectors read it concurrently); freezing disables its software
+	// TLB so those accesses never mutate it.
+	frozen.Freeze()
 	s := &State{
 		id:     t.nextID.Add(1),
 		tree:   t,
 		parent: parent,
-		mem:    ctx.Mem.Fork(),
+		mem:    frozen,
 		fsys:   ctx.FS.Snapshot(),
 		regs:   ctx.Regs,
 		out:    out,

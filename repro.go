@@ -77,7 +77,7 @@ type (
 	// Decision is returned by solution hooks (Continue or Stop).
 	Decision = core.Decision
 	// Observer receives engine telemetry (OnGuess/OnFail/OnSolution/
-	// OnSnapshot) from the hot loop.
+	// OnSnapshot/OnStepStats) from the hot loop.
 	Observer = core.Observer
 	// FuncObserver adapts optional callbacks to Observer.
 	FuncObserver = core.FuncObserver
@@ -107,6 +107,10 @@ const (
 	// Stop halts the search, draining queues and releasing snapshots.
 	Stop = core.Stop
 )
+
+// ErrEngineReused is returned by Run when an Engine is asked to drive a
+// second search; construct a fresh Engine per run.
+var ErrEngineReused = core.ErrEngineReused
 
 // NewEngine returns a backtracking engine running guests on m, tuned by
 // functional options (see With*). With no options it behaves like the
