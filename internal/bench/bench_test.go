@@ -47,6 +47,21 @@ func BenchmarkE11Quick(b *testing.B) {
 	}
 }
 
+// BenchmarkE12Quick keeps the work-stealing scaling experiment wired into
+// `go test -bench` (and the CI one-iteration smoke): it also re-verifies
+// solution-set identity across worker counts on every run.
+func BenchmarkE12Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := E12(Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("E12 produced no rows")
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	e, err := ByID(4)
 	if err != nil || e.ID != 4 {

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/queens"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// symGuessProgram builds the symexec-shaped E12 guest: depth sequential
+// sys_guess(2) forks over a dataMiB data segment, every extension step
+// CoW-dirtying one page of it, every leaf exiting with its path id — the
+// state-forking shape of multi-path symbolic execution (E6) expressed
+// through the engine's backtracking calls so worker scaling applies.
+func symGuessProgram(depth, dataMiB int) (*guest.Image, error) {
+	return guest.AssembleImage(fmt.Sprintf(`
+.data
+blob: .space %d
+.text
+_start:
+    mov r13, 0          ; acc = path id
+    mov r14, 0          ; level
+loop:
+    mov rax, 500        ; sys_guess(2)
+    mov rdi, 2
+    syscall
+    shl r13, 1
+    add r13, rax        ; acc = acc*2 + choice
+    mov rbx, r14
+    mul rbx, 4096
+    mov r15, =blob
+    add r15, rbx
+    store r13, [r15]    ; dirty one page per level (CoW work per restore)
+    add r14, 1
+    cmp r14, %d
+    jl loop
+    mov rdi, r13
+    mov rax, 60
+    syscall
+`, dataMiB<<20, depth))
+}
+
+// E12 measures the sharded work-stealing scheduler (per-worker deques,
+// steal-half, polling termination) against worker count on two workloads:
+// fine-grained hosted n-queens (the Fig. 1/Fig. 2 staple) and the
+// coarser symexec-shaped native guest. Every run's solution set is
+// checked for identity against the 1-worker baseline — scaling that
+// changes the answer set would be a scheduler bug, not a result — and
+// the single-queue scheduler (NoSteal) is measured at the highest worker
+// count as the contrast row the tentpole replaced.
+func E12(o Options) (*trace.Table, error) {
+	queensN := 8
+	workers := []int{1, 2, 4, 8}
+	symDepth := 10
+	dataMiB := 2
+	if o.Quick {
+		queensN = 6
+		workers = []int{1, 2, 4}
+		symDepth = 6
+		dataMiB = 1
+	}
+	t := &trace.Table{
+		Title: fmt.Sprintf("E12: work-stealing worker scaling (queens n=%d; sym depth=%d, %d MiB; GOMAXPROCS=%d)",
+			queensN, symDepth, dataMiB, runtime.GOMAXPROCS(0)),
+		Columns: []string{"workload", "workers", "sched", "time", "knodes/s", "speedup", "steals"},
+		Note:    "identical solution sets verified at every worker count; global = single-queue baseline",
+	}
+
+	// runQueens returns duration, result, and the sorted board set.
+	runQueens := func(w int, noSteal bool) (time.Duration, *core.Result, []string, error) {
+		alloc := mem.NewFrameAllocator(0)
+		root, err := queens.NewHostedContext(alloc, queensN)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		eng := core.New(core.NewHostedMachine(queens.HostedStep(false)),
+			core.Config{Workers: w, NoSteal: noSteal})
+		var res *core.Result
+		dur := trace.Time(func() { res, err = eng.Run(context.Background(), root) })
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if eng.Tree().Live() != 0 || alloc.Live() != 0 {
+			return 0, nil, nil, fmt.Errorf("E12: leak at %d workers: %d snapshots, %d frames",
+				w, eng.Tree().Live(), alloc.Live())
+		}
+		boards := make([]string, 0, len(res.Solutions))
+		for _, s := range res.Solutions {
+			boards = append(boards, strings.TrimSpace(string(s.Out)))
+		}
+		sort.Strings(boards)
+		return dur, res, boards, nil
+	}
+
+	runSym := func(w int) (time.Duration, *core.Result, []uint64, error) {
+		img, err := symGuessProgram(symDepth, dataMiB)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		alloc := mem.NewFrameAllocator(0)
+		as, regs, err := guest.Load(img, alloc, guest.LoadOptions{})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		eng := core.New(core.NewVMMachine(0), core.Config{Workers: w})
+		var res *core.Result
+		dur := trace.Time(func() {
+			res, err = eng.Run(context.Background(),
+				&snapshot.Context{Mem: as, FS: fs.New(), Regs: regs})
+		})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if res.Stats.Errors != 0 {
+			return 0, nil, nil, fmt.Errorf("E12 sym: guest crashed: %v", res.FirstPathError)
+		}
+		if eng.Tree().Live() != 0 || alloc.Live() != 0 {
+			return 0, nil, nil, fmt.Errorf("E12 sym: leak at %d workers: %d snapshots, %d frames",
+				w, eng.Tree().Live(), alloc.Live())
+		}
+		ids := make([]uint64, 0, len(res.Solutions))
+		for _, s := range res.Solutions {
+			ids = append(ids, s.Status)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return dur, res, ids, nil
+	}
+
+	knps := func(res *core.Result, dur time.Duration) string {
+		return fmt.Sprintf("%.0f", float64(res.Stats.Nodes)/dur.Seconds()/1e3)
+	}
+
+	// Queens sweep.
+	var qBase time.Duration
+	var qBaseBoards []string
+	for _, w := range workers {
+		dur, res, boards, err := runQueens(w, false)
+		if err != nil {
+			return nil, err
+		}
+		if w == workers[0] {
+			qBase, qBaseBoards = dur, boards
+			if len(boards) != queens.Counts[queensN] {
+				return nil, fmt.Errorf("E12: baseline found %d boards, want %d",
+					len(boards), queens.Counts[queensN])
+			}
+		} else if !slices.Equal(boards, qBaseBoards) {
+			return nil, fmt.Errorf("E12: solution set diverged at %d workers", w)
+		}
+		t.AddRow("queens-dfs", w, "steal", dur, knps(res, dur),
+			trace.Ratio(qBase, dur), res.Stats.Steals)
+	}
+	// Single-queue contrast at the widest worker count.
+	wMax := workers[len(workers)-1]
+	dur, res, boards, err := runQueens(wMax, true)
+	if err != nil {
+		return nil, err
+	}
+	if !slices.Equal(boards, qBaseBoards) {
+		return nil, fmt.Errorf("E12: NoSteal solution set diverged")
+	}
+	t.AddRow("queens-dfs", wMax, "global", dur, knps(res, dur),
+		trace.Ratio(qBase, dur), "-")
+
+	// Symexec-shaped sweep.
+	var sBase time.Duration
+	var sBaseIDs []uint64
+	for _, w := range workers {
+		dur, res, ids, err := runSym(w)
+		if err != nil {
+			return nil, err
+		}
+		if w == workers[0] {
+			sBase, sBaseIDs = dur, ids
+			if len(ids) != 1<<symDepth {
+				return nil, fmt.Errorf("E12 sym: %d paths, want %d", len(ids), 1<<symDepth)
+			}
+		} else if !slices.Equal(ids, sBaseIDs) {
+			return nil, fmt.Errorf("E12 sym: path set diverged at %d workers", w)
+		}
+		t.AddRow("sym-guess", w, "steal", dur, knps(res, dur),
+			trace.Ratio(sBase, dur), res.Stats.Steals)
+	}
+	return t, nil
+}

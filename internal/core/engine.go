@@ -46,6 +46,11 @@ type Config struct {
 	SMACapacity int
 	// RandomSeed seeds the Random strategy when a guest selects it.
 	RandomSeed uint64
+	// NoSteal forces the single global queue even for order-insensitive
+	// policies (DFS, Random), instead of the sharded work-stealing pool —
+	// the measured baseline for the E12 scaling experiment and an escape
+	// hatch for strict single-queue pop order.
+	NoSteal bool
 	// NoRunThrough disables the DFS run-through optimization, in which the
 	// worker that hits a guess keeps executing extension 0 in its live
 	// context (no snapshot restore) and only the siblings are queued —
@@ -106,12 +111,13 @@ type Solution struct {
 
 // Stats aggregates engine-level counters for one run.
 type Stats struct {
-	Nodes      int64 // extension steps evaluated
+	Nodes      int64 // extension steps evaluated (never exceeds Config.MaxNodes)
 	Guesses    int64
 	Fails      int64
 	Exits      int64
 	Errors     int64 // crashed paths
 	Emitted    int64
+	Evicted    int64 // extensions dropped by a memory-bounded strategy (SM-A*)
 	Snapshots  int64 // partial candidates captured
 	MaxDepth   int64
 	CowCopies  int64
@@ -119,6 +125,8 @@ type Stats struct {
 	NodeClones int64
 	TLBHits    int64 // software-TLB hits across all extension contexts
 	TLBMisses  int64 // software-TLB misses (slow-path resolutions)
+	Steals     int64 // work-stealing scheduler: items taken from other workers
+	LocalPops  int64 // work-stealing scheduler: items popped from the own deque
 }
 
 // Result reports a completed search.
@@ -148,9 +156,8 @@ type Engine struct {
 	tree    *snapshot.Tree
 
 	mu       sync.Mutex
-	cond     *sync.Cond
-	strategy Strategy
-	busy     int
+	strategy Strategy // policy identity; scheduling goes through sched
+	sched    sched    // fixed once workers start (swaps only during the root step)
 	stopped  bool
 	halted   atomic.Bool // mirrors stopped for lock-free reads
 
@@ -169,6 +176,7 @@ type Engine struct {
 	exits      atomic.Int64
 	errors     atomic.Int64
 	emitted    atomic.Int64
+	evicted    atomic.Int64
 	maxDepth   atomic.Int64
 	cowCopies  atomic.Int64
 	zeroFills  atomic.Int64
@@ -197,10 +205,36 @@ func New(m Machine, cfg Config) *Engine {
 	if st == nil {
 		st = search.NewDFS[*snapshot.State]()
 	}
-	e := &Engine{machine: m, cfg: cfg, tree: snapshot.NewTree(), strategy: st}
-	e.runThrough = st.Name() == "dfs" && !cfg.NoRunThrough
-	e.cond = sync.NewCond(&e.mu)
+	e := &Engine{machine: m, cfg: cfg, tree: snapshot.NewTree()}
+	e.adoptStrategy(st)
 	return e
+}
+
+// adoptStrategy installs st as the engine's policy: telemetry hooks, the
+// run-through flag, and the matching scheduler (sharded work-stealing for
+// order-insensitive policies, the dedicated global queue otherwise). Only
+// called before workers exist — from New and from the root step's
+// sys_guess_strategy handling — under e.mu when e.mu already guards state.
+func (e *Engine) adoptStrategy(st Strategy) {
+	if sm, ok := st.(*search.SMAStar[*snapshot.State]); ok {
+		sm.SetEvictHook(func(it Ext) {
+			e.evicted.Add(1)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnEvict(it.Depth)
+			}
+		})
+	}
+	e.strategy = st
+	e.runThrough = st.Name() == "dfs" && !e.cfg.NoRunThrough
+	if sb, ok := st.(search.Stealable); ok && !e.cfg.NoSteal {
+		seed := e.cfg.RandomSeed
+		if r, ok := st.(interface{ Seed() uint64 }); ok {
+			seed = r.Seed()
+		}
+		e.sched = newStealSched(e.cfg.Workers, sb.StealKind(), seed)
+	} else {
+		e.sched = newGlobalSched(st, func(it Ext) { it.Payload.Release() })
+	}
 }
 
 // Tree exposes the snapshot tree (statistics, service layers).
@@ -240,11 +274,14 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 	}
 
 	// The watcher turns ctx cancellation into a stop: it drains the
-	// strategy queues (releasing their snapshot references) and wakes
-	// workers blocked on the condvar, so a cancelled run returns within
-	// one extension step.
+	// scheduler (releasing the queued snapshot references) and wakes or
+	// unparks idle workers, so a cancelled run returns within one
+	// extension step. Run joins it before returning — the drain may
+	// still be releasing references after every worker has exited.
 	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
 	go func() {
+		defer close(watcherExited)
 		select {
 		case <-ctx.Done():
 			e.stop(nil)
@@ -252,25 +289,31 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 		}
 	}()
 
-	// Evaluate the root step synchronously: it may select the strategy.
-	e.evaluate(nil, root, 0)
+	// Evaluate the root step synchronously: it may select the strategy
+	// (and with it the scheduler) before any sibling is queued.
+	e.evaluate(0, nil, root, 0)
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			e.worker()
-		}()
+			e.worker(w)
+		}(w)
 	}
 	wg.Wait()
 	close(watchDone)
+	// Join the watcher: if it is mid-stop, queued snapshot references
+	// are still being released, and Run's contract (zero live snapshots
+	// and frames on a cancelled return) holds only after that drain.
+	<-watcherExited
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.fatal != nil {
 		return nil, e.fatal
 	}
+	steals, localPops := e.sched.stats()
 	res := &Result{
 		Solutions:      e.solutions,
 		Strategy:       e.strategy.Name(),
@@ -282,6 +325,7 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 			Exits:      e.exits.Load(),
 			Errors:     e.errors.Load(),
 			Emitted:    e.emitted.Load(),
+			Evicted:    e.evicted.Load(),
 			Snapshots:  e.tree.Created(),
 			MaxDepth:   e.maxDepth.Load(),
 			CowCopies:  e.cowCopies.Load(),
@@ -289,41 +333,54 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 			NodeClones: e.nodeClones.Load(),
 			TLBHits:    e.tlbHits.Load(),
 			TLBMisses:  e.tlbMisses.Load(),
+			Steals:     steals,
+			LocalPops:  localPops,
 		},
 	}
 	return res, ctx.Err()
 }
 
-func (e *Engine) worker() {
+// worker is one simulated core: pop, restore, evaluate, retire — with no
+// shared engine lock on the hot path. The scheduler owns blocking and
+// termination; countNode owns the MaxNodes budget.
+func (e *Engine) worker(w int) {
 	for {
-		e.mu.Lock()
-		for !e.stopped && e.strategy.Len() == 0 && e.busy > 0 {
-			e.cond.Wait()
-		}
-		if e.stopped || e.strategy.Len() == 0 {
-			e.cond.Broadcast()
-			e.mu.Unlock()
+		item, ok := e.sched.next(w)
+		if !ok {
 			return
 		}
-		item, _ := e.strategy.Pop()
-		e.busy++
-		e.mu.Unlock()
-
-		n := e.nodes.Add(1)
-		if e.cfg.MaxNodes > 0 && n > e.cfg.MaxNodes {
-			e.stop(nil)
-		} else {
+		// halted guards the pop-vs-stop race: an item popped while the
+		// stop's drain sweeps the other shards must be released, not
+		// evaluated — a stopped engine finishes in-flight steps but
+		// never starts new ones (halted is set before the drain begins).
+		if !e.halted.Load() && e.countNode() {
 			ctx := item.Payload.Restore()
-			e.evaluate(item.Payload, ctx, item.Choice)
+			e.evaluate(w, item.Payload, ctx, item.Choice)
 		}
 		item.Payload.Release()
+		e.sched.done(w)
+	}
+}
 
-		e.mu.Lock()
-		e.busy--
-		if e.busy == 0 && e.strategy.Len() == 0 {
-			e.cond.Broadcast()
+// countNode reserves one extension evaluation against Config.MaxNodes,
+// stopping the engine and returning false when the budget is exhausted.
+// The reservation happens *before* the counter moves, so Stats.Nodes can
+// never exceed the cap — with many workers racing, the CAS loop admits
+// exactly MaxNodes evaluations and every later pop is rejected uncounted.
+func (e *Engine) countNode() bool {
+	if e.cfg.MaxNodes <= 0 {
+		e.nodes.Add(1)
+		return true
+	}
+	for {
+		n := e.nodes.Load()
+		if n >= e.cfg.MaxNodes {
+			e.stop(nil)
+			return false
 		}
-		e.mu.Unlock()
+		if e.nodes.CompareAndSwap(n, n+1) {
+			return true
+		}
 	}
 }
 
@@ -331,25 +388,27 @@ func (e *Engine) worker() {
 // candidate references. err, when non-nil, is fatal for the whole run.
 func (e *Engine) stop(err error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err != nil && e.fatal == nil {
 		e.fatal = err
 	}
 	if e.stopped {
+		e.mu.Unlock()
 		return
 	}
 	e.stopped = true
 	e.halted.Store(true)
-	e.strategy.Drain(func(it Ext) { it.Payload.Release() })
-	e.cond.Broadcast()
+	s := e.sched
+	e.mu.Unlock()
+	s.stop()
 }
 
 // evaluate runs extension steps starting from ctx until the path dies or a
-// guess hands all children to the strategy. Under DFS run-through, a guess
-// instead queues only the siblings and the loop continues extension 0 in
-// the live context, avoiding a restore and the first-write path copies for
-// the spine of the search tree. evaluate consumes ctx.
-func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval uint64) {
+// guess hands all children to the scheduler (as worker w). Under DFS
+// run-through, a guess instead queues only the siblings and the loop
+// continues extension 0 in the live context, avoiding a restore and the
+// first-write path copies for the spine of the search tree. evaluate
+// consumes ctx.
+func (e *Engine) evaluate(w int, parent *snapshot.State, ctx *snapshot.Context, retval uint64) {
 	var held *snapshot.State // capture ref for the snapshot we ran through
 	defer func() {
 		if held != nil {
@@ -377,11 +436,16 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			ack := uint64(0)
 			if parent == nil && held == nil && !e.cfg.IgnoreGuestStrategy {
 				if st := e.strategyByID(ev.N); st != nil {
+					// Only reachable from the root step, before the first
+					// guess: nothing is queued and no worker is running, so
+					// the scheduler can be swapped wholesale. A concurrent
+					// watcher stop keeps the old (empty) scheduler.
 					e.mu.Lock()
-					e.strategy = st
-					e.runThrough = st.Name() == "dfs" && !e.cfg.NoRunThrough
+					if !e.stopped {
+						e.adoptStrategy(st)
+						ack = 1
+					}
 					e.mu.Unlock()
-					ack = 1
 				}
 			}
 			ev, err = e.machine.Resume(ctx, ack)
@@ -438,18 +502,14 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 					Priority: int64(snap.Depth()) + ev.Hint,
 				})
 			}
-			e.mu.Lock()
-			if e.stopped {
-				e.mu.Unlock()
-				for range items {
-					snap.Release()
+			if len(items) > 0 {
+				if e.halted.Load() || !e.sched.push(w, items) {
+					// Stopped: the scheduler refused the batch (or would
+					// have); the sibling references are ours to drop.
+					for range items {
+						snap.Release()
+					}
 				}
-			} else if len(items) > 0 {
-				e.strategy.PushAll(items)
-				e.cond.Broadcast()
-				e.mu.Unlock()
-			} else {
-				e.mu.Unlock()
 			}
 			if !runThrough {
 				snap.Release() // the capture reference
@@ -464,9 +524,7 @@ func (e *Engine) evaluate(parent *snapshot.State, ctx *snapshot.Context, retval 
 			held = snap
 			parent = snap
 			retval = 0
-			n := e.nodes.Add(1)
-			if e.cfg.MaxNodes > 0 && n > e.cfg.MaxNodes {
-				e.stop(nil)
+			if !e.countNode() {
 				return
 			}
 

@@ -39,6 +39,13 @@ type Observer interface {
 	OnSolution(sol Solution)
 	// OnSnapshot reports a captured partial candidate.
 	OnSnapshot(id uint64, depth int)
+	// OnEvict reports a queued extension at the given depth dropped by a
+	// memory-bounded strategy (SM-A*) to honor its capacity — the only
+	// signal that a bounded run is silently losing candidates. The
+	// evicted snapshot reference is already released when the callback
+	// runs. Invoked under the scheduler lock: implementations must be
+	// cheap and must not call back into the engine.
+	OnEvict(depth int)
 	// OnStepStats reports the memory-subsystem counters (CoW copies,
 	// zero fills, node clones, software-TLB hits/misses) accumulated by
 	// one completed extension evaluation — a run-through chain reports
@@ -54,6 +61,7 @@ type FuncObserver struct {
 	Fail      func(depth int)
 	Solution  func(sol Solution)
 	Snapshot  func(id uint64, depth int)
+	Evict     func(depth int)
 	StepStats func(st mem.Stats)
 }
 
@@ -82,6 +90,13 @@ func (o *FuncObserver) OnSolution(sol Solution) {
 func (o *FuncObserver) OnSnapshot(id uint64, depth int) {
 	if o.Snapshot != nil {
 		o.Snapshot(id, depth)
+	}
+}
+
+// OnEvict implements Observer.
+func (o *FuncObserver) OnEvict(depth int) {
+	if o.Evict != nil {
+		o.Evict(depth)
 	}
 }
 

@@ -13,6 +13,10 @@ import (
 // spin the CPU without touching simulated memory: isolates scheduler
 // overhead from memory-substrate effects.
 func benchParallelTree(b *testing.B, workers, spin int) {
+	benchParallelTreeCfg(b, core.Config{Workers: workers}, spin)
+}
+
+func benchParallelTreeCfg(b *testing.B, cfg core.Config, spin int) {
 	b.Helper()
 	step := func(env *core.Env) error {
 		m := env.Mem()
@@ -46,7 +50,7 @@ func benchParallelTree(b *testing.B, workers, spin int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng := core.New(core.NewHostedMachine(step), core.Config{Workers: workers})
+		eng := core.New(core.NewHostedMachine(step), cfg)
 		if _, err := eng.Run(context.Background(), ctx); err != nil {
 			b.Fatal(err)
 		}
@@ -55,3 +59,13 @@ func benchParallelTree(b *testing.B, workers, spin int) {
 
 func BenchmarkParallelSpinW1(b *testing.B) { benchParallelTree(b, 1, 50_000) }
 func BenchmarkParallelSpinW2(b *testing.B) { benchParallelTree(b, 2, 50_000) }
+func BenchmarkParallelSpinW4(b *testing.B) { benchParallelTree(b, 4, 50_000) }
+
+// The NoSteal variants measure the same trees through the single global
+// queue — the E12 contrast at the microbenchmark level.
+func BenchmarkParallelSpinW2Global(b *testing.B) {
+	benchParallelTreeCfg(b, core.Config{Workers: 2, NoSteal: true}, 50_000)
+}
+func BenchmarkParallelSpinW4Global(b *testing.B) {
+	benchParallelTreeCfg(b, core.Config{Workers: 4, NoSteal: true}, 50_000)
+}

@@ -130,7 +130,11 @@ func fsErrno(err error) uint64 {
 		return interpose.ErrnoRet(interpose.EBADF)
 	case errors.Is(err, fs.ErrPerm):
 		return interpose.ErrnoRet(interpose.EACCES)
+	case errors.Is(err, fs.ErrTooBig):
+		return interpose.ErrnoRet(interpose.EFBIG)
 	default:
+		// fs.ErrInvalid (guest-controlled offsets out of range) and any
+		// other rejection surface as EINVAL.
 		return interpose.ErrnoRet(interpose.EINVAL)
 	}
 }

@@ -304,3 +304,68 @@ _start:
 		t.Error("gettick returned 0 after retiring instructions")
 	}
 }
+
+// TestGuestSeekWriteOffsetValidation is the regression test for
+// guest-controlled file offsets (fs hardening): lseek far past the file
+// bound fails EINVAL instead of parking a poisoned offset, and a write at
+// the maximum legal position fails EFBIG instead of wrapping the block
+// arithmetic and panicking the host.
+func TestGuestSeekWriteOffsetValidation(t *testing.T) {
+	res, _ := runNative(t, `
+.data
+path: .asciz "/f"
+msg:  .asciz "xx"
+.text
+_start:
+    mov rax, 2          ; open(path, O_CREAT|O_RDWR)
+    mov rdi, =path
+    mov rsi, 0x42
+    syscall
+    mov r12, rax        ; fd
+
+    mov rax, 8          ; lseek(fd, 1<<62, SET) -> EINVAL
+    mov rdi, r12
+    mov rsi, 1
+    shl rsi, 62
+    mov rdx, 0
+    syscall
+    cmp rax, -22
+    jne bad
+
+    mov rax, 8          ; lseek(fd, 1<<30, SET) = MaxFileSize -> ok
+    mov rdi, r12
+    mov rsi, 1
+    shl rsi, 30
+    mov rdx, 0
+    syscall
+    mov r13, rax
+    cmp r13, 0
+    jl bad              ; must not be an errno
+
+    mov rax, 1          ; write(fd, msg, 2) at MaxFileSize -> EFBIG
+    mov rdi, r12
+    mov rsi, =msg
+    mov rdx, 2
+    syscall
+    cmp rax, -27
+    jne bad
+
+    mov rax, 60
+    mov rdi, 0
+    syscall
+bad:
+    mov rax, 60
+    mov rdi, 1
+    syscall
+`, core.Config{})
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d, firstErr=%v", len(res.Solutions), res.FirstPathError)
+	}
+	if res.Solutions[0].Status != 0 {
+		t.Errorf("guest observed wrong errnos for out-of-range offsets (exit=%d)",
+			res.Solutions[0].Status)
+	}
+	if res.Stats.Errors != 0 {
+		t.Errorf("host-side path errors: %v", res.FirstPathError)
+	}
+}

@@ -179,7 +179,16 @@ var (
 	ErrNotExist = fmt.Errorf("fs: no such file")
 	ErrBadFD    = fmt.Errorf("fs: bad file descriptor")
 	ErrPerm     = fmt.Errorf("fs: operation not permitted")
+	ErrInvalid  = fmt.Errorf("fs: invalid offset")
+	ErrTooBig   = fmt.Errorf("fs: file too large")
 )
+
+// MaxFileSize bounds a regular file's logical size (1 GiB). Offsets are
+// guest-controlled (Seek then Write through the interposition layer), so
+// they must be rejected here before block arithmetic can overflow int64.
+// The block table is dense, so this bound also caps what a single sparse
+// guest write can make the host allocate (~2 MiB of block pointers).
+const MaxFileSize = int64(1) << 30
 
 // FS is one mutable filesystem view, owned by a single execution context.
 // FD numbers 0..2 are reserved for the stdio streams handled by the
@@ -306,6 +315,9 @@ func (s *FS) Read(fdnum int, p []byte) (int, error) {
 	if fd.Flags&accessMask == OWrOnly {
 		return 0, ErrPerm
 	}
+	if fd.Off < 0 {
+		return 0, ErrInvalid
+	}
 	f, ok := s.inodes[fd.Path]
 	if !ok {
 		return 0, ErrNotExist
@@ -332,12 +344,20 @@ func (s *FS) Write(fdnum int, p []byte) (int, error) {
 	if !ok {
 		return 0, ErrNotExist
 	}
-	f = s.exclusive(fd.Path, f)
+	off := fd.Off
 	if fd.Flags&OAppend != 0 {
-		fd.Off = f.size
+		off = f.size
 	}
-	f.writeAt(p, fd.Off)
-	fd.Off += int64(len(p))
+	// Validate before cloning: a rejected write must not dirty the view.
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	if int64(len(p)) > MaxFileSize-off {
+		return 0, ErrTooBig
+	}
+	f = s.exclusive(fd.Path, f)
+	f.writeAt(p, off)
+	fd.Off = off + int64(len(p))
 	return len(p), nil
 }
 
@@ -367,10 +387,14 @@ func (s *FS) Seek(fdnum int, off int64, whence int) (int64, error) {
 		}
 		base = f.size
 	default:
-		return 0, fmt.Errorf("fs: bad whence %d", whence)
+		return 0, fmt.Errorf("fs: bad whence %d: %w", whence, ErrInvalid)
 	}
-	if base+off < 0 {
-		return 0, fmt.Errorf("fs: negative seek")
+	// base is in [0, MaxFileSize], so base+off overflows int64 only when
+	// off is near MaxInt64 — and any such position is far beyond
+	// MaxFileSize anyway. Checking against the bound with subtraction
+	// keeps the arithmetic overflow-free.
+	if off < -base || off > MaxFileSize-base {
+		return 0, ErrInvalid
 	}
 	fd.Off = base + off
 	return fd.Off, nil

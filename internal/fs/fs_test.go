@@ -2,6 +2,7 @@ package fs
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -236,5 +237,69 @@ func TestOpenFDsCount(t *testing.T) {
 	s.Close(fd1)
 	if got := s.OpenFDs(); got != 1 {
 		t.Errorf("OpenFDs after close = %d", got)
+	}
+}
+
+// TestOffsetValidation is the regression suite for guest-controlled
+// offsets: before validation, Seek near MaxInt64 followed by Write
+// wrapped end = off + len(p) negative and panicked indexing a huge
+// block number, and a merely-large offset made writeAt allocate block
+// pointers for the whole sparse span.
+func TestOffsetValidation(t *testing.T) {
+	s := New()
+	defer s.Release()
+	fd, _ := s.Open("/f", OCreate|ORdWr)
+	s.Write(fd, []byte("seed"))
+
+	const maxInt64 = int64(^uint64(0) >> 1)
+	if _, err := s.Seek(fd, maxInt64-1, SeekSet); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Seek(MaxInt64-1) = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Seek(fd, MaxFileSize+1, SeekSet); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Seek(MaxFileSize+1) = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Seek(fd, -5, SeekSet); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative Seek = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Seek(fd, -maxInt64, SeekCur); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Seek(-MaxInt64, cur) = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Seek(fd, 0, 99); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad whence = %v, want ErrInvalid", err)
+	}
+
+	// A rejected seek must leave the descriptor's offset untouched.
+	if off, err := s.Seek(fd, 0, SeekCur); off != 4 || err != nil {
+		t.Fatalf("offset after rejected seeks = %d, %v; want 4", off, err)
+	}
+
+	// The boundary itself is seekable, but writing there exceeds the cap.
+	if off, err := s.Seek(fd, MaxFileSize, SeekSet); off != MaxFileSize || err != nil {
+		t.Fatalf("Seek(MaxFileSize) = %d, %v", off, err)
+	}
+	if _, err := s.Write(fd, []byte("x")); !errors.Is(err, ErrTooBig) {
+		t.Errorf("Write at MaxFileSize = %v, want ErrTooBig", err)
+	}
+	// Reads past EOF at a valid offset still just hit EOF.
+	if _, err := s.Read(fd, make([]byte, 8)); err != io.EOF {
+		t.Errorf("Read at MaxFileSize = %v, want io.EOF", err)
+	}
+	// The rejected write must not have grown the file.
+	if sz, _ := s.Stat("/f"); sz != 4 {
+		t.Errorf("size after rejected write = %d, want 4", sz)
+	}
+
+	// O_APPEND computes the cap against the file end, not the fd offset:
+	// an append through a descriptor parked at MaxFileSize still lands at
+	// the (tiny) file size and succeeds.
+	afd, _ := s.Open("/f", OWrOnly|OAppend)
+	if _, err := s.Seek(afd, MaxFileSize, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(afd, []byte("ok")); err != nil {
+		t.Errorf("append within bound = %v", err)
+	}
+	if sz, _ := s.Stat("/f"); sz != 6 {
+		t.Errorf("size after append = %d, want 6", sz)
 	}
 }

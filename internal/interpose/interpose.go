@@ -60,6 +60,7 @@ const (
 	EACCES  = 13
 	EFAULT  = 14
 	EINVAL  = 22
+	EFBIG   = 27
 	ENOSYS  = 38
 	ENOTSUP = 95
 )

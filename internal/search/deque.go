@@ -1,0 +1,256 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StealKind names the local pop policy of a sharded, work-stealing
+// scheduler shard.
+type StealKind uint8
+
+// Steal kinds.
+const (
+	// StealLIFO: the owning worker pops newest-first (depth-first within
+	// its own subtree); thieves steal oldest-first.
+	StealLIFO StealKind = iota
+	// StealRandom: the owning worker pops a uniformly random local item;
+	// thieves still steal oldest-first.
+	StealRandom
+)
+
+// Stealable marks strategies whose exploration order is insensitive to
+// worker interleaving, so the engine may replace the single shared queue
+// with per-worker deques and steal-half rebalancing. Order-sensitive
+// policies (BFS, A*, SM-A*, External) must not implement it.
+type Stealable interface {
+	StealKind() StealKind
+}
+
+// shard is one worker-owned deque. Each has its own lock, so the only
+// cross-worker contention is an actual steal. The padding keeps hot
+// shards off each other's cache lines.
+type shard[T any] struct {
+	mu     sync.Mutex
+	items  []Item[T]
+	victim int    // round-robin steal cursor (owner-only)
+	rng    uint64 // xorshift64* state for StealRandom local pops
+	_      [64]byte
+}
+
+// Sharded distributes one logical work pool over per-worker deques for
+// order-insensitive strategies: the owner pushes and pops at the tail
+// (LIFO — the paper's default depth-first policy within each worker's
+// subtree), while idle workers steal the older half of a victim's deque
+// (FIFO — the shallowest items, which head the largest remaining
+// subtrees, so one steal buys the thief the most private work).
+//
+// Termination uses a single task counter: an item is *pending* from the
+// Push that enqueues it until the Done that retires it, so a worker that
+// pops it and pushes its children raises the counter before lowering it.
+// Quiescent is therefore one atomic load — zero means no queued items
+// and no in-flight evaluation that could produce more — with none of the
+// ordering windows a separate queued/busy pair would open.
+//
+// Sharded is not a Strategy: its operations are worker-addressed. All
+// methods are safe for concurrent use.
+type Sharded[T any] struct {
+	shards []shard[T]
+	kind   StealKind
+	drop   func(Item[T]) // receives items discarded by Close (and steal-vs-Close losers)
+
+	queued  atomic.Int64 // items sitting in deques (Len)
+	pending atomic.Int64 // queued + popped-but-not-Done (termination)
+	closed  atomic.Bool
+}
+
+// NewSharded returns a pool of `workers` deques. seed parameterizes the
+// per-worker random streams under StealRandom (ignored for StealLIFO).
+// drop, which may be nil, receives every item the pool discards when it
+// is closed.
+func NewSharded[T any](workers int, kind StealKind, seed uint64, drop func(Item[T])) *Sharded[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	s := &Sharded[T]{shards: make([]shard[T], workers), kind: kind, drop: drop}
+	for i := range s.shards {
+		s.shards[i].victim = (i + 1) % workers
+		// splitmix64 over the seed: decorrelated non-zero per-shard states.
+		s.shards[i].rng = splitmix64(seed+uint64(i+1)*0x9e3779b97f4a7c15) | 1
+	}
+	return s
+}
+
+// Workers returns the number of shards.
+func (s *Sharded[T]) Workers() int { return len(s.shards) }
+
+// Len returns the number of queued items across all shards.
+func (s *Sharded[T]) Len() int { return int(s.queued.Load()) }
+
+// Closed reports whether Close has run.
+func (s *Sharded[T]) Closed() bool { return s.closed.Load() }
+
+// Quiescent reports global termination: nothing queued and nothing
+// popped-but-unfinished, so no future push can occur.
+func (s *Sharded[T]) Quiescent() bool { return s.pending.Load() == 0 }
+
+// Push appends worker w's sibling batch to its own deque, in reverse so
+// the lowest Choice pops first under LIFO (matching DFS.PushAll). It
+// returns false — without retaining anything — when the pool is closed;
+// the caller still owns the items. A worker that pushes from inside an
+// evaluation must do so before its Done, or Quiescent can fire early.
+func (s *Sharded[T]) Push(w int, items []Item[T]) bool {
+	if len(items) == 0 {
+		return true
+	}
+	sh := &s.shards[w]
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return false
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		sh.items = append(sh.items, items[i])
+	}
+	s.queued.Add(int64(len(items)))
+	s.pending.Add(int64(len(items)))
+	sh.mu.Unlock()
+	return true
+}
+
+// Pop takes the next item for worker w: its own deque first, then a
+// steal sweep over the other shards. The item stays pending until the
+// caller's Done, so every successful Pop must be paired with Done after
+// the evaluation — and any pushes it performs — complete. stolen reports
+// whether the item came from another worker's deque.
+func (s *Sharded[T]) Pop(w int) (it Item[T], stolen bool, ok bool) {
+	if it, ok := s.popLocal(w); ok {
+		return it, false, true
+	}
+	if it, ok := s.steal(w); ok {
+		return it, true, true
+	}
+	var zero Item[T]
+	return zero, false, false
+}
+
+// Done retires an item returned by a successful Pop.
+func (s *Sharded[T]) Done(w int) { s.pending.Add(-1) }
+
+func (s *Sharded[T]) popLocal(w int) (Item[T], bool) {
+	sh := &s.shards[w]
+	sh.mu.Lock()
+	n := len(sh.items)
+	if n == 0 {
+		sh.mu.Unlock()
+		var zero Item[T]
+		return zero, false
+	}
+	i := n - 1
+	if s.kind == StealRandom {
+		var out uint64
+		sh.rng, out = xorshiftMul(sh.rng)
+		i = int(out % uint64(n))
+	}
+	it := sh.items[i]
+	sh.items[i] = sh.items[n-1]
+	var zero Item[T]
+	sh.items[n-1] = zero
+	sh.items = sh.items[:n-1]
+	s.queued.Add(-1)
+	sh.mu.Unlock()
+	return it, true
+}
+
+// steal sweeps the other shards round-robin from w's cursor, moving the
+// older half of the first non-empty victim deque into w's own deque and
+// returning the oldest item for immediate evaluation.
+func (s *Sharded[T]) steal(w int) (Item[T], bool) {
+	var zero Item[T]
+	n := len(s.shards)
+	if n == 1 {
+		return zero, false
+	}
+	me := &s.shards[w]
+	v := me.victim
+	for k := 0; k < n-1; k++ {
+		if v == w {
+			v = (v + 1) % n
+		}
+		loot := s.stealFrom(v)
+		v = (v + 1) % n
+		if len(loot) == 0 {
+			continue
+		}
+		me.victim = v
+		// Bank the surplus in our own deque. The closed check under our
+		// lock mirrors Push: if Close already drained us, banked loot
+		// would be stranded in a dead pool, so hand it to drop instead.
+		me.mu.Lock()
+		if s.closed.Load() {
+			me.mu.Unlock()
+			if s.drop != nil {
+				for _, it := range loot {
+					s.drop(it)
+				}
+			}
+			s.queued.Add(-int64(len(loot)))
+			s.pending.Add(-int64(len(loot)))
+			return zero, false
+		}
+		me.items = append(me.items, loot[1:]...)
+		s.queued.Add(-1) // only the returned item leaves the deques
+		me.mu.Unlock()
+		return loot[0], true
+	}
+	return zero, false
+}
+
+// stealFrom removes and returns the older half (rounded up) of shard v.
+// The moved items stay counted in queued until re-banked or returned.
+func (s *Sharded[T]) stealFrom(v int) []Item[T] {
+	sh := &s.shards[v]
+	sh.mu.Lock()
+	n := len(sh.items)
+	if n == 0 {
+		sh.mu.Unlock()
+		return nil
+	}
+	take := (n + 1) / 2
+	loot := make([]Item[T], take)
+	copy(loot, sh.items[:take])
+	rest := copy(sh.items, sh.items[take:])
+	for i := rest; i < n; i++ {
+		var zero Item[T]
+		sh.items[i] = zero
+	}
+	sh.items = sh.items[:rest]
+	sh.mu.Unlock()
+	return loot
+}
+
+// Close marks the pool stopped and drains every shard, passing each
+// queued item to the drop callback. Pushes that lose the race return
+// false and leave item ownership with the pusher. Idempotent.
+func (s *Sharded[T]) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		items := sh.items
+		sh.items = nil
+		sh.mu.Unlock()
+		if s.drop != nil {
+			for _, it := range items {
+				s.drop(it)
+			}
+		}
+		s.queued.Add(-int64(len(items)))
+		s.pending.Add(-int64(len(items)))
+	}
+}

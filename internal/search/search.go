@@ -69,6 +69,11 @@ func (d *DFS[T]) Pop() (Item[T], bool) {
 // Len implements Strategy.
 func (d *DFS[T]) Len() int { return len(d.stack) }
 
+// StealKind implements Stealable: depth-first exploration of an exhaustive
+// search is order-insensitive across workers, so the engine may shard it
+// over per-worker deques (LIFO locally ≡ DFS within each worker's subtree).
+func (d *DFS[T]) StealKind() StealKind { return StealLIFO }
+
 // Drain implements Strategy.
 func (d *DFS[T]) Drain(drop func(Item[T])) {
 	for _, it := range d.stack {
@@ -136,9 +141,8 @@ func (h *heap[T]) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h *heap[T]) push(it Item[T]) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
+// siftUp restores heap order upward from index i.
+func (h *heap[T]) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
 		if !h.less(i, p) {
@@ -147,6 +151,30 @@ func (h *heap[T]) push(it Item[T]) {
 		h.items[i], h.items[p] = h.items[p], h.items[i]
 		i = p
 	}
+}
+
+// siftDown restores heap order downward from index i.
+func (h *heap[T]) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.items) && h.less(l, s) {
+			s = l
+		}
+		if r < len(h.items) && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.items[i], h.items[s] = h.items[s], h.items[i]
+		i = s
+	}
+}
+
+func (h *heap[T]) push(it Item[T]) {
+	h.items = append(h.items, it)
+	h.siftUp(len(h.items) - 1)
 }
 
 func (h *heap[T]) pop() (Item[T], bool) {
@@ -160,46 +188,38 @@ func (h *heap[T]) pop() (Item[T], bool) {
 	var zero Item[T]
 	h.items[last] = zero
 	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < len(h.items) && h.less(l, s) {
-			s = l
-		}
-		if r < len(h.items) && h.less(r, s) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		h.items[i], h.items[s] = h.items[s], h.items[i]
-		i = s
-	}
+	h.siftDown(0)
 	return top, true
 }
 
-// popWorst removes the item with the highest (Priority, seq). O(n); only
-// used by the memory-bounded strategy on eviction.
+// popWorst removes the item with the highest (Priority, seq). The scan is
+// O(n) (the maximum of a min-heap sits in the leaf half); the repair is a
+// single O(log n) sift in place, keeping the backing slice — the memory-
+// bounded strategy evicts on every overflowing push, so a reallocating
+// rebuild here turned each eviction into a whole-queue copy.
 func (h *heap[T]) popWorst() (Item[T], bool) {
-	if len(h.items) == 0 {
+	n := len(h.items)
+	if n == 0 {
 		var zero Item[T]
 		return zero, false
 	}
-	worst := 0
-	for i := 1; i < len(h.items); i++ {
+	worst := n / 2 // the max cannot have children
+	for i := worst + 1; i < n; i++ {
 		a, b := h.items[i], h.items[worst]
 		if a.Priority > b.Priority || (a.Priority == b.Priority && a.seq > b.seq) {
 			worst = i
 		}
 	}
 	it := h.items[worst]
-	h.items = append(h.items[:worst], h.items[worst+1:]...)
-	// Restore heap order: rebuild is O(n) but eviction is already O(n).
-	items := h.items
-	h.items = nil
-	for _, x := range items {
-		h.push(x)
+	last := n - 1
+	h.items[worst] = h.items[last]
+	var zero Item[T]
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if worst < last {
+		// The transplanted leaf may violate order in either direction.
+		h.siftDown(worst)
+		h.siftUp(worst)
 	}
 	return it, true
 }
@@ -255,6 +275,7 @@ type SMAStar[T any] struct {
 	Best[T]
 	capacity int
 	drop     func(Item[T])
+	hook     func(Item[T])
 	// Evicted counts extensions dropped due to the memory bound.
 	Evicted int64
 }
@@ -269,6 +290,14 @@ func NewSMAStar[T any](capacity int, drop func(Item[T])) *SMAStar[T] {
 	return s
 }
 
+// SetEvictHook registers fn to observe every eviction, after the drop
+// callback has run — the engine's telemetry seam, so memory-bounded runs
+// surface how many candidates the bound silently discarded. The hook is
+// observational: by the time it runs, drop has already consumed the item's
+// payload reference. It is invoked under the scheduler's lock and must be
+// cheap.
+func (s *SMAStar[T]) SetEvictHook(fn func(Item[T])) { s.hook = fn }
+
 // PushAll implements Strategy, evicting worst items beyond capacity.
 func (s *SMAStar[T]) PushAll(items []Item[T]) {
 	s.Best.PushAll(items)
@@ -281,7 +310,29 @@ func (s *SMAStar[T]) PushAll(items []Item[T]) {
 		if s.drop != nil {
 			s.drop(it)
 		}
+		if s.hook != nil {
+			s.hook(it)
+		}
 	}
+}
+
+// xorshiftMul advances an xorshift64* state, returning the new state and
+// the output word — the PRNG step shared by Random and the sharded
+// scheduler's per-worker streams.
+func xorshiftMul(state uint64) (newState, out uint64) {
+	x := state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	return x, x * 0x2545f4914f6cdd1d
+}
+
+// splitmix64 scrambles z into a decorrelated stream state (used to seed
+// independent per-worker generators from one user seed).
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Random pops a uniformly random queued extension, deterministically from
@@ -289,6 +340,7 @@ func (s *SMAStar[T]) PushAll(items []Item[T]) {
 type Random[T any] struct {
 	items []Item[T]
 	state uint64
+	seed  uint64
 }
 
 // NewRandom returns a randomized strategy seeded with seed.
@@ -296,8 +348,16 @@ func NewRandom[T any](seed uint64) *Random[T] {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &Random[T]{state: seed}
+	return &Random[T]{state: seed, seed: seed}
 }
+
+// Seed returns the seed the strategy was constructed with (the sharded
+// scheduler derives per-worker streams from it).
+func (r *Random[T]) Seed() uint64 { return r.seed }
+
+// StealKind implements Stealable: randomized exploration has no order to
+// preserve, so shards pop uniformly from their local deque.
+func (r *Random[T]) StealKind() StealKind { return StealRandom }
 
 // Name implements Strategy.
 func (r *Random[T]) Name() string { return "random" }
@@ -306,12 +366,9 @@ func (r *Random[T]) Name() string { return "random" }
 func (r *Random[T]) PushAll(items []Item[T]) { r.items = append(r.items, items...) }
 
 func (r *Random[T]) next() uint64 {
-	x := r.state
-	x ^= x >> 12
-	x ^= x << 25
-	x ^= x >> 27
-	r.state = x
-	return x * 0x2545f4914f6cdd1d
+	var out uint64
+	r.state, out = xorshiftMul(r.state)
+	return out
 }
 
 // Pop implements Strategy.

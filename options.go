@@ -16,7 +16,24 @@ func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
 func WithStrategy(st Strategy) Option { return func(c *Config) { c.Strategy = st } }
 
 // WithWorkers evaluates extensions on n simulated CPU cores (Fig. 2).
+// Order-insensitive strategies (DFS, Random) are scheduled over n
+// work-stealing deques, one per worker; order-sensitive ones share a
+// single queue under a dedicated scheduler lock.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithNoSteal forces the single global queue even for order-insensitive
+// strategies — the measured baseline for worker-scaling experiments and
+// an escape hatch when strict single-queue pop order matters.
+func WithNoSteal() Option { return func(c *Config) { c.NoSteal = true } }
+
+// WithSMACapacity bounds the SM-A* queue selected by a guest's
+// sys_guess_strategy (default 65536). Evictions surface in
+// Stats.Evicted and Observer.OnEvict.
+func WithSMACapacity(n int) Option { return func(c *Config) { c.SMACapacity = n } }
+
+// WithRandomSeed seeds the Random strategy when a guest selects it, and
+// the per-worker pop streams of the sharded scheduler.
+func WithRandomSeed(seed uint64) Option { return func(c *Config) { c.RandomSeed = seed } }
 
 // WithMaxSolutions stops the search after n recorded solutions. Prefer
 // Engine.Solutions with an early break when "first answer" is the goal.

@@ -17,7 +17,7 @@
 //	symexec    the S2E-style multi-path symbolic executor
 //	wam        the Prolog comparator
 //	checkpoint full-copy/incremental checkpoint and eager-fork baselines
-//	bench      the E1–E10 experiment harness
+//	bench      the E1–E12 experiment harness
 //
 // # Quickstart
 //

@@ -194,6 +194,41 @@ func TestFacadeOptions(t *testing.T) {
 	}
 }
 
+// TestFacadeSchedulerOptions drives the work-stealing scheduler and its
+// single-queue baseline through the façade: same answers either way, and
+// the scheduling counters only move for the stealing build.
+func TestFacadeSchedulerOptions(t *testing.T) {
+	run := func(opts ...repro.Option) *repro.Result {
+		t.Helper()
+		alloc := repro.NewFrameAllocator(0)
+		root, err := repro.NewHostedContext(alloc, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := repro.NewEngine(repro.NewHostedMachine(queensStep(6)), opts...)
+		res, err := eng.Run(context.Background(), root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live := eng.Tree().Live(); live != 0 {
+			t.Fatalf("snapshot leak: %d", live)
+		}
+		return res
+	}
+	steal := run(repro.WithWorkers(4), repro.WithRandomSeed(7))
+	global := run(repro.WithWorkers(4), repro.WithNoSteal())
+	if len(steal.Solutions) != len(global.Solutions) {
+		t.Errorf("stealing found %d solutions, global %d",
+			len(steal.Solutions), len(global.Solutions))
+	}
+	if steal.Stats.Steals+steal.Stats.LocalPops == 0 {
+		t.Error("stealing run recorded no scheduler pops")
+	}
+	if global.Stats.Steals != 0 || global.Stats.LocalPops != 0 {
+		t.Error("global-queue run recorded stealing counters")
+	}
+}
+
 // TestFacadeTimeout bounds an exhaustive 10-queens run far below its
 // runtime; the partial result must come back with DeadlineExceeded.
 func TestFacadeTimeout(t *testing.T) {
