@@ -1,19 +1,28 @@
 // Command solversvc runs the multi-path incremental SAT solver service of
-// the paper's §3.2 over a line protocol on stdin/stdout. Each solved
-// problem is parked behind an opaque reference backed by a lightweight
-// snapshot; clients branch any reference with additional clauses.
+// the paper's §3.2 over a line protocol — on stdin/stdout by default, or
+// as a TCP server with -listen, where every connection gets its own
+// session goroutine against the one shared snapshot tree. That sharing is
+// the point: a reference parked by one client can be branched by another,
+// and siblings physically share all unmodified state.
 //
-// SIGINT/SIGTERM shut the service down gracefully: the in-flight command
-// finishes, every parked snapshot is released, and the process exits after
-// verifying no snapshots leaked.
+// SIGINT/SIGTERM shut the service down gracefully: the listener stops
+// accepting, in-flight commands finish (their solves are cancelled via
+// the request context), every parked snapshot is released, and the
+// process exits after verifying no snapshots leaked.
 //
-// Protocol (one command per line):
+// Protocol (one command per line; see `help`):
 //
 //	extend <id> <lit ... 0 [lit ... 0 ...]>   extend problem <id>; prints "id=N verdict=..."
-//	model <id-less>                            n/a — models print with extend
-//	release <id>                               drop a reference
-//	refs                                       print live reference count
-//	quit                                       exit
+//	release <id>                              drop a reference (id 0 is permanent)
+//	pin <id> | unpin <id>                     exempt from / re-expose to eviction
+//	touch <id>                                LRU keep-alive / liveness probe
+//	refs | stats                              table and service counters
+//	quit                                      end the session
+//
+// Reference 0 is the permanent empty root problem: it can be neither
+// released nor evicted, so `extend 0 ...` always works. With -cap N the
+// service keeps at most N unpinned references; older ones are LRU-evicted
+// and answer "evicted" errors afterwards.
 //
 // Example session:
 //
@@ -25,16 +34,49 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/solver"
 )
+
+// maxLineBytes bounds one protocol line (a large extend carries many
+// clauses; 64 variables per clause × thousands of clauses easily exceeds
+// bufio.Scanner's 64 KiB default). Longer lines fail loudly with a read
+// error instead of silently ending the session.
+const maxLineBytes = 8 << 20
+
+// config carries the per-session serving knobs.
+type config struct {
+	reqTimeout time.Duration // per-request deadline for extend; 0 = none
+}
+
+const banner = "solversvc ready; problem 0 is the permanent empty root (send `help` for the protocol)"
+
+const helpText = `commands:
+  extend <id> <lit ... 0 [lit ... 0 ...]>  solve states[id] ∧ clauses, park result, print new id
+  release <id>                             drop a reference (reference 0 is permanent: refused)
+  pin <id> / unpin <id>                    pinned references are never evicted by -cap
+  touch <id>                               LRU keep-alive; errors if evicted/unknown
+  refs                                     live reference and snapshot counts
+  stats                                    extends, evictions, refs, live snapshots, sharing footprint
+  help                                     this text
+  quit                                     end the session
+rules: reference 0 is the permanent empty base problem — it can be neither
+released nor evicted, so every session can branch from it. With -cap N at
+most N unpinned references stay parked; the least recently used beyond
+that are evicted and answer "evicted" errors afterwards.`
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -43,137 +85,284 @@ func main() {
 	// second signal kills immediately if teardown wedges.
 	go func() { <-ctx.Done(); stop() }()
 
-	svc := service.New()
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	listen := flag.String("listen", "", "serve on a TCP address (e.g. :7333) instead of stdin/stdout")
+	capacity := flag.Int("cap", 0, "max parked unpinned references; 0 = unbounded; LRU-evicted beyond")
+	shards := flag.Int("shards", 0, "reference-table lock shards (0 = default)")
+	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request deadline for extend (0 disables)")
+	flag.Parse()
 
-	// Scan stdin on its own goroutine so a signal interrupts a blocked
-	// read: the main loop selects between lines and ctx.Done().
-	lines := make(chan string)
-	go func() {
-		defer close(lines)
-		sc := bufio.NewScanner(os.Stdin)
-		for sc.Scan() {
-			select {
-			case lines <- sc.Text():
-			case <-ctx.Done():
-				return
-			}
+	svc := service.NewWithConfig(service.Config{Capacity: *capacity, Shards: *shards})
+	cfg := config{reqTimeout: *reqTimeout}
+
+	var sessionErr error
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solversvc:", err)
+			os.Exit(1)
 		}
-	}()
-
-	fmt.Fprintln(out, "solversvc ready; problem 0 is empty (see -h for protocol)")
-	out.Flush()
-	serve(ctx, svc, out, lines)
+		fmt.Fprintf(os.Stderr, "solversvc: listening on %s\n", ln.Addr())
+		serveTCP(ctx, svc, ln, cfg)
+	} else {
+		out := bufio.NewWriter(os.Stdout)
+		fmt.Fprintln(out, banner)
+		out.Flush()
+		sessionErr = runSession(ctx, svc, os.Stdin, out, cfg)
+		out.Flush()
+		if sessionErr != nil {
+			fmt.Fprintf(os.Stderr, "solversvc: %v\n", sessionErr)
+		}
+	}
 
 	// Graceful teardown: release every parked snapshot and verify none leak.
 	interrupted := ctx.Err() != nil
 	svc.Close()
 	live := svc.LiveSnapshots()
 	if interrupted {
-		fmt.Fprintf(out, "signal received; shut down gracefully (live-snapshots=%d)\n", live)
+		fmt.Fprintf(os.Stderr, "solversvc: signal received; shut down gracefully (live-snapshots=%d)\n", live)
 	}
-	out.Flush()
 	if live != 0 {
 		fmt.Fprintf(os.Stderr, "solversvc: %d snapshots leaked at shutdown\n", live)
 		os.Exit(1)
 	}
+	if sessionErr != nil {
+		// The session aborted mid-stream (e.g. an overlong line): fail
+		// the process so drivers can tell, after the clean drain above.
+		os.Exit(1)
+	}
 }
 
-// serve runs the command loop until EOF, quit, or ctx cancellation.
-func serve(ctx context.Context, svc *service.Service, out *bufio.Writer, lines <-chan string) {
-loop:
-	for {
-		var line string
-		var ok bool
-		select {
-		case <-ctx.Done():
-			break loop
-		case line, ok = <-lines:
-			if !ok {
-				break loop
-			}
+// serveTCP accepts connections until ctx is cancelled, running one session
+// goroutine per connection against the shared service — cross-client
+// physical sharing of the snapshot tree is the whole point. Shutdown is a
+// drain: the listener closes, open connections are closed to unblock
+// their readers, in-flight commands observe the cancelled context, and
+// serveTCP returns only when every session goroutine has exited.
+func serveTCP(ctx context.Context, svc *service.Service, ln net.Listener, cfg config) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
+		mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			// Transient failure (e.g. EMFILE under connection load): log,
+			// back off briefly, and keep serving rather than silently
+			// taking the whole server down.
+			fmt.Fprintf(os.Stderr, "solversvc: accept: %v (retrying)\n", err)
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
 			continue
 		}
-		switch fields[0] {
-		case "quit", "exit":
-			break loop
-		case "refs":
-			fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
-		case "release":
-			if len(fields) != 2 {
-				fmt.Fprintln(out, "err: release <id>")
-				break
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			out := bufio.NewWriter(conn)
+			fmt.Fprintln(out, banner)
+			out.Flush()
+			if err := runSession(ctx, svc, conn, out, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "solversvc: session %s: %v\n", conn.RemoteAddr(), err)
 			}
-			id, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				fmt.Fprintf(out, "err: %v\n", err)
-				break
-			}
-			if err := svc.Release(id); err != nil {
-				fmt.Fprintf(out, "err: %v\n", err)
-			} else {
-				fmt.Fprintln(out, "ok")
-			}
-		case "extend":
-			if len(fields) < 2 {
-				fmt.Fprintln(out, "err: extend <id> <lit ... 0 ...>")
-				break
-			}
-			id, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				fmt.Fprintf(out, "err: %v\n", err)
-				break
-			}
-			var clauses [][]int
-			var cur []int
-			bad := false
-			for _, f := range fields[2:] {
-				v, err := strconv.Atoi(f)
-				if err != nil {
-					fmt.Fprintf(out, "err: bad literal %q\n", f)
-					bad = true
-					break
-				}
-				if v == 0 {
-					clauses = append(clauses, cur)
-					cur = nil
-					continue
-				}
-				cur = append(cur, v)
-			}
-			if bad {
-				break
-			}
-			if len(cur) > 0 {
-				clauses = append(clauses, cur)
-			}
-			res, err := svc.Extend(ctx, id, clauses)
-			if err != nil {
-				fmt.Fprintf(out, "err: %v\n", err)
-				break
-			}
-			fmt.Fprintf(out, "id=%d verdict=%s", res.ID, res.Verdict)
-			if res.Verdict == solver.Sat {
-				fmt.Fprint(out, " model=")
-				for v := 1; v < len(res.Model); v++ {
-					if v > 1 {
-						fmt.Fprint(out, ",")
-					}
-					if res.Model[v] {
-						fmt.Fprintf(out, "%d", v)
-					} else {
-						fmt.Fprintf(out, "-%d", v)
-					}
-				}
-			}
-			fmt.Fprintln(out)
-		default:
-			fmt.Fprintf(out, "err: unknown command %q\n", fields[0])
-		}
-		out.Flush()
+			out.Flush()
+		}()
 	}
+	wg.Wait()
+}
+
+// scanMsg is one unit from the session reader: a line or a terminal error.
+type scanMsg struct {
+	line string
+	err  error
+}
+
+// runSession runs the command loop for one client until EOF, quit, ctx
+// cancellation, or a read error (which is both reported to the client and
+// returned). The scanner buffer is grown to maxLineBytes so large clause
+// batches arrive intact, and scanner errors surface instead of silently
+// ending the session.
+func runSession(ctx context.Context, svc *service.Service, r io.Reader, out *bufio.Writer, cfg config) error {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Read on a separate goroutine so cancellation interrupts a session
+	// blocked on input (TCP conns are additionally closed by serveTCP).
+	lines := make(chan scanMsg)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+		for sc.Scan() {
+			select {
+			case lines <- scanMsg{line: sc.Text()}:
+			case <-sctx.Done():
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			select {
+			case lines <- scanMsg{err: err}:
+			case <-sctx.Done():
+			}
+		}
+	}()
+
+	for {
+		var msg scanMsg
+		var open bool
+		select {
+		case <-ctx.Done():
+			return nil
+		case msg, open = <-lines:
+			if !open {
+				return nil // clean EOF
+			}
+		}
+		if msg.err != nil {
+			if ctx.Err() != nil {
+				// Drain-induced: the server closed this connection to
+				// unblock the reader. Not a session failure.
+				return nil
+			}
+			err := fmt.Errorf("read: %w", msg.err)
+			fmt.Fprintf(out, "err: %v\n", err)
+			out.Flush()
+			return err
+		}
+		quit := handle(ctx, svc, out, strings.Fields(msg.line), cfg)
+		out.Flush()
+		if quit {
+			return nil
+		}
+	}
+}
+
+// handle executes one command, writing the reply; returns true on quit.
+func handle(ctx context.Context, svc *service.Service, out *bufio.Writer, fields []string, cfg config) bool {
+	if len(fields) == 0 {
+		return false
+	}
+	parseID := func() (uint64, bool) {
+		if len(fields) != 2 {
+			fmt.Fprintf(out, "err: %s <id>\n", fields[0])
+			return 0, false
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(out, "err: %v\n", err)
+			return 0, false
+		}
+		return id, true
+	}
+	switch fields[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Fprintln(out, helpText)
+	case "refs":
+		fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
+	case "stats":
+		st := svc.Stats()
+		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f\n",
+			st.Extends, st.Evictions, st.Refs, st.Pinned, st.LiveSnapshots,
+			st.PrivateBytes, st.SharedBytes, st.SharedRatio())
+	case "release", "pin", "unpin", "touch":
+		id, ok := parseID()
+		if !ok {
+			break
+		}
+		var err error
+		switch fields[0] {
+		case "release":
+			err = svc.Release(id)
+		case "pin":
+			err = svc.Pin(id)
+		case "unpin":
+			err = svc.Unpin(id)
+		case "touch":
+			err = svc.Touch(id)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "err: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "ok")
+		}
+	case "extend":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "err: extend <id> <lit ... 0 ...>")
+			break
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(out, "err: %v\n", err)
+			break
+		}
+		var clauses [][]int
+		var cur []int
+		for _, f := range fields[2:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				fmt.Fprintf(out, "err: bad literal %q\n", f)
+				return false
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, v)
+		}
+		if len(cur) > 0 {
+			clauses = append(clauses, cur)
+		}
+		rctx, cancel := ctx, func() {}
+		if cfg.reqTimeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
+		}
+		res, err := svc.Extend(rctx, id, clauses)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(out, "err: %v\n", err)
+			break
+		}
+		fmt.Fprintf(out, "id=%d verdict=%s", res.ID, res.Verdict)
+		if res.Verdict == solver.Sat {
+			fmt.Fprint(out, " model=")
+			for v := 1; v < len(res.Model); v++ {
+				if v > 1 {
+					fmt.Fprint(out, ",")
+				}
+				if res.Model[v] {
+					fmt.Fprintf(out, "%d", v)
+				} else {
+					fmt.Fprintf(out, "-%d", v)
+				}
+			}
+		}
+		fmt.Fprintln(out)
+	default:
+		fmt.Fprintf(out, "err: unknown command %q\n", fields[0])
+	}
+	return false
 }

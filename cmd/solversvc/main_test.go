@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// session runs input through one stdio-style session and returns the output.
+func session(t *testing.T, svc *service.Service, input string) string {
+	t.Helper()
+	var sb strings.Builder
+	out := bufio.NewWriter(&sb)
+	if err := runSession(context.Background(), svc, strings.NewReader(input), out, config{}); err != nil {
+		t.Fatalf("runSession: %v", err)
+	}
+	out.Flush()
+	return sb.String()
+}
+
+// TestLongExtendLine is the regression for the silent >64KiB drop: the
+// default bufio.Scanner buffer made a long extend line end the session
+// with no diagnostic. The grown buffer must carry it through the parser
+// and solver.
+func TestLongExtendLine(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+
+	// ~120 KiB of clauses: (v ∨ v+1) for v in 1..10000, trivially sat.
+	var sb strings.Builder
+	sb.WriteString("extend 0")
+	for v := 1; v <= 10000; v++ {
+		fmt.Fprintf(&sb, " %d %d 0", v, v+1)
+	}
+	sb.WriteString("\nrefs\n")
+	if sb.Len() < 64*1024 {
+		t.Fatalf("test line only %d bytes; must exceed the 64KiB default", sb.Len())
+	}
+
+	got := session(t, svc, sb.String())
+	if !strings.Contains(got, "id=1 verdict=sat") {
+		t.Fatalf("long extend line dropped; output: %.200s", got)
+	}
+	if !strings.Contains(got, "refs=2") {
+		t.Errorf("reference not parked after long extend: %.200s", got)
+	}
+}
+
+// TestOverlongLineSurfacesScannerError: a line beyond maxLineBytes must
+// produce a visible read error, not a silent session end.
+func TestOverlongLineSurfacesScannerError(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+
+	input := "extend 0 " + strings.Repeat("1 ", maxLineBytes/2) + "0\n"
+	var sb strings.Builder
+	out := bufio.NewWriter(&sb)
+	err := runSession(context.Background(), svc, strings.NewReader(input), out, config{})
+	out.Flush()
+	if err == nil {
+		t.Fatal("overlong line: runSession returned nil error")
+	}
+	if !strings.Contains(sb.String(), "err: read:") {
+		t.Errorf("no client-visible diagnostic for overlong line: %.200s", sb.String())
+	}
+}
+
+func TestProtocolRootAndEviction(t *testing.T) {
+	svc := service.NewWithConfig(service.Config{Capacity: 2})
+	defer svc.Close()
+
+	got := session(t, svc, strings.Join([]string{
+		"release 0",    // refused: root is permanent
+		"extend 0 1 0", // id=1
+		"extend 0 2 0", // id=2
+		"pin 1",        // protect id=1
+		"extend 0 3 0", // id=3
+		"extend 0 4 0", // id=4 → evicts LRU unpinned (id=2)
+		"touch 2",      // evicted
+		"touch 1",      // pinned survivor
+		"stats",
+		"help",
+		"quit",
+	}, "\n")+"\n")
+
+	for _, want := range []string{
+		"err: service: root reference 0 is permanent",
+		"id=1 verdict=sat",
+		"evicted by capacity limit",
+		"extends=4",
+		"evictions=",
+		"shared-ratio=",
+		"reference 0 is the permanent empty base problem",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// touch 1 must have answered ok (pinned ref not evicted).
+	if strings.Contains(got, "err: service: reference 1") {
+		t.Errorf("pinned reference 1 was evicted:\n%s", got)
+	}
+}
+
+// TestTCPSessionsShareTree starts the TCP server, connects two clients,
+// and branches a reference parked by the first from the second — the
+// cross-client sharing the server exists for — then exercises graceful
+// drain: cancelling the context closes the listener and every connection,
+// and serveTCP returns with all sessions ended.
+func TestTCPSessionsShareTree(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		serveTCP(ctx, svc, ln, config{reqTimeout: 10 * time.Second})
+		close(done)
+	}()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		if _, err := br.ReadString('\n'); err != nil { // banner
+			t.Fatal(err)
+		}
+		return conn, br
+	}
+	send := func(conn net.Conn, br *bufio.Reader, cmd string) string {
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			t.Fatal(err)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(line)
+	}
+
+	connA, brA := dial()
+	defer connA.Close()
+	connB, brB := dial()
+	defer connB.Close()
+
+	if got := send(connA, brA, "extend 0 1 2 0"); !strings.HasPrefix(got, "id=1 verdict=sat") {
+		t.Fatalf("client A extend: %q", got)
+	}
+	// Client B branches client A's reference: one shared snapshot tree.
+	if got := send(connB, brB, "extend 1 -1 0"); !strings.HasPrefix(got, "id=2 verdict=sat") {
+		t.Fatalf("client B extend of A's ref: %q", got)
+	}
+	if got := send(connB, brB, "refs"); !strings.Contains(got, "refs=3") {
+		t.Fatalf("shared table: %q", got)
+	}
+
+	// Graceful drain: cancel, server must close conns and return.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveTCP did not drain after cancel")
+	}
+	if _, err := brA.ReadString('\n'); err == nil {
+		t.Error("client A connection still open after drain")
+	}
+}

@@ -62,5 +62,8 @@ func main() {
 	verdict := s.Solve(0)
 	fmt.Printf("p∧q3 from scratch:            %s in %v\n",
 		verdict, time.Since(start).Round(time.Microsecond))
-	fmt.Printf("\nlive problem references: %d (snapshot tree shares their common state)\n", svc.Refs())
+	st := svc.Stats()
+	fmt.Printf("\nlive problem references: %d (snapshot tree shares their common state)\n", st.Refs)
+	fmt.Printf("parked footprint: %d bytes private, %d bytes shared (%.0f%% of parked state is physically shared)\n",
+		st.PrivateBytes, st.SharedBytes, 100*st.SharedRatio())
 }

@@ -62,6 +62,22 @@ func BenchmarkE12Quick(b *testing.B) {
 	}
 }
 
+// BenchmarkE13Quick keeps the concurrent-service experiment wired into
+// `go test -bench` (and the CI one-iteration smoke): every iteration
+// re-verifies verdict identity against the serial run, the eviction cap,
+// and the zero-leak teardown.
+func BenchmarkE13Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := E13(Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("E13 produced no rows")
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	e, err := ByID(4)
 	if err != nil || e.ID != 4 {

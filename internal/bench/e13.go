@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// E13 measures the concurrent solver service (sharded reference table,
+// off-lock solves, LRU capacity eviction) under the workload the paper's
+// §3.2 describes: C concurrent clients branching one shared solved base
+// problem, every sibling physically sharing the base's unmodified state.
+// Each client owns a deterministic chain of extensions, so its verdict
+// sequence must be identical to a serial run regardless of interleaving —
+// concurrency that changed answers would be a table bug, not a result.
+// The table reports throughput against client count, the bytes-shared
+// ratio of the parked sibling set, and an eviction row demonstrating the
+// capacity bound holding under load with the root and pinned base intact.
+func E13(o Options) (*trace.Table, error) {
+	clientCounts := []int{1, 2, 4, 8}
+	steps := 12
+	baseVars, baseClauses := 150, 560
+	stepClauses := 6
+	if o.Quick {
+		clientCounts = []int{1, 2, 4}
+		steps = 6
+		baseVars, baseClauses = 60, 200
+		stepClauses = 4
+	}
+	maxC := clientCounts[len(clientCounts)-1]
+
+	baseProblem := solver.Random3SAT(baseVars, baseClauses, 7)
+	// batch is the deterministic clause load of client c's step k.
+	batch := func(c, k int) [][]int {
+		return solver.Random3SAT(baseVars, stepClauses, int64(1009+257*c+k))
+	}
+
+	t := &trace.Table{
+		Title: fmt.Sprintf("E13: concurrent service scaling (base %dv/%dc; %d steps/client; GOMAXPROCS=%d)",
+			baseVars, baseClauses, steps, runtime.GOMAXPROCS(0)),
+		Columns: []string{"clients", "extends", "time", "ext/s", "speedup", "shared", "evictions"},
+		Note:    "per-client verdict chains identical to the serial run; zero live snapshots after every teardown",
+	}
+
+	// runClients executes the workload with C client goroutines against a
+	// fresh service and returns elapsed time, per-client verdicts, and the
+	// parked sharing ratio sampled before teardown.
+	runClients := func(C int, cfg service.Config) (time.Duration, [][]solver.Status, service.Stats, error) {
+		svc := service.NewWithConfig(cfg)
+		defer svc.Close()
+		base, err := svc.Extend(context.Background(), 0, baseProblem)
+		if err != nil {
+			return 0, nil, service.Stats{}, err
+		}
+		if err := svc.Pin(base.ID); err != nil {
+			return 0, nil, service.Stats{}, err
+		}
+		verdicts := make([][]solver.Status, C)
+		errs := make([]error, C)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < C; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				prev := base.ID
+				for k := 0; k < steps; k++ {
+					r, err := svc.Extend(context.Background(), prev, batch(c, k))
+					if err != nil {
+						errs[c] = fmt.Errorf("client %d step %d: %w", c, k, err)
+						return
+					}
+					verdicts[c] = append(verdicts[c], r.Verdict)
+					prev = r.ID
+				}
+			}(c)
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, nil, service.Stats{}, err
+			}
+		}
+		stats := svc.Stats()
+		svc.Close()
+		if live := svc.LiveSnapshots(); live != 0 {
+			return 0, nil, service.Stats{}, fmt.Errorf("E13: %d snapshots leaked after Close", live)
+		}
+		return dur, verdicts, stats, nil
+	}
+
+	// Serial reference: every client's chain run to completion by one
+	// goroutine, one chain after another. Chains are independent (each
+	// hangs off the shared base), so this is the ground truth every
+	// concurrent interleaving must reproduce exactly.
+	serial := make([][]solver.Status, maxC)
+	chainDur := make([]time.Duration, maxC)
+	{
+		svc := service.New()
+		base, err := svc.Extend(context.Background(), 0, baseProblem)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < maxC; c++ {
+			chainStart := time.Now()
+			prev := base.ID
+			for k := 0; k < steps; k++ {
+				r, err := svc.Extend(context.Background(), prev, batch(c, k))
+				if err != nil {
+					return nil, fmt.Errorf("E13 serial: client %d step %d: %w", c, k, err)
+				}
+				serial[c] = append(serial[c], r.Verdict)
+				prev = r.ID
+			}
+			chainDur[c] = time.Since(chainStart)
+		}
+		svc.Close()
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E13: %d snapshots leaked after serial run", live)
+		}
+	}
+
+	for _, C := range clientCounts {
+		dur, verdicts, stats, err := runClients(C, service.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < C; c++ {
+			if len(verdicts[c]) != steps {
+				return nil, fmt.Errorf("E13: client %d finished %d/%d steps", c, len(verdicts[c]), steps)
+			}
+			for k, v := range verdicts[c] {
+				if v != serial[c][k] {
+					return nil, fmt.Errorf("E13: client %d step %d verdict %v != serial %v (concurrency changed an answer)",
+						c, k, v, serial[c][k])
+				}
+			}
+		}
+		extends := C * steps // the base extend precedes the timed window
+		// Speedup compares against the SAME C chains run serially (chains
+		// differ in hardness, so cross-C comparisons would mix workloads).
+		var serialC time.Duration
+		for _, d := range chainDur[:C] {
+			serialC += d
+		}
+		t.AddRow(C, extends, dur,
+			fmt.Sprintf("%.0f", float64(extends)/dur.Seconds()),
+			trace.Ratio(serialC, dur),
+			fmt.Sprintf("%.2f", stats.SharedRatio()),
+			stats.Evictions)
+	}
+
+	// Eviction under load: a small cap, all clients hammering the shared
+	// pinned base. The bound must hold at every sample, the root and the
+	// pinned base must survive, and evicted ids must answer ErrEvicted.
+	capRefs := 2 * maxC
+	{
+		svc := service.NewWithConfig(service.Config{Capacity: capRefs})
+		defer svc.Close()
+		base, err := svc.Extend(context.Background(), 0, baseProblem)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Pin(base.ID); err != nil {
+			return nil, err
+		}
+		var firstID atomic.Uint64
+		var overCap atomic.Int64
+		errs := make([]error, maxC)
+		var wg sync.WaitGroup
+		// The cap bound is asserted by a dedicated sampler polling the
+		// cheap Counts accessor while the clients run — keeping the
+		// expensive footprint walk (and its all-shard serialization) out
+		// of the timed region whose ext/s lands in the table.
+		samplerStop := make(chan struct{})
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			for {
+				refs, pinned := svc.Counts()
+				if unpinned := refs - pinned; unpinned > capRefs {
+					overCap.Store(int64(unpinned))
+				}
+				select {
+				case <-samplerStop:
+					return
+				case <-time.After(100 * time.Microsecond):
+					// Backoff: sampling must not monopolize the shard
+					// locks (or the only core) inside the timed region.
+				}
+			}
+		}()
+		start := time.Now()
+		for c := 0; c < maxC; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := 0; k < steps; k++ {
+					r, err := svc.Extend(context.Background(), base.ID, batch(c, k))
+					if err != nil {
+						errs[c] = fmt.Errorf("evict client %d step %d: %w", c, k, err)
+						return
+					}
+					firstID.CompareAndSwap(0, r.ID)
+				}
+			}(c)
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		close(samplerStop)
+		<-samplerDone
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if n := overCap.Load(); n != 0 {
+			return nil, fmt.Errorf("E13: %d unpinned refs parked, cap %d", n, capRefs)
+		}
+		if err := svc.Touch(0); err != nil {
+			return nil, fmt.Errorf("E13: root evicted: %v", err)
+		}
+		if err := svc.Touch(base.ID); err != nil {
+			return nil, fmt.Errorf("E13: pinned base evicted: %v", err)
+		}
+		stats := svc.Stats()
+		if stats.Evictions == 0 {
+			return nil, fmt.Errorf("E13: no evictions under cap %d with %d parks", capRefs, maxC*steps)
+		}
+		// The earliest parked sibling has long aged out of a cap this small.
+		if err := svc.Touch(firstID.Load()); !errors.Is(err, service.ErrEvicted) {
+			return nil, fmt.Errorf("E13: first sibling %d = %v, want ErrEvicted", firstID.Load(), err)
+		}
+		extends := maxC * steps // the base extend precedes the timed window
+		svc.Close()
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E13: %d snapshots leaked after evicting Close", live)
+		}
+		t.AddRow(fmt.Sprintf("%d cap=%d", maxC, capRefs), extends, dur,
+			fmt.Sprintf("%.0f", float64(extends)/dur.Seconds()),
+			"-",
+			fmt.Sprintf("%.2f", stats.SharedRatio()),
+			stats.Evictions)
+	}
+	return t, nil
+}

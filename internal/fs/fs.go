@@ -8,6 +8,7 @@
 package fs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"path"
@@ -209,8 +210,15 @@ const FirstFD = 3
 func cleanPath(p string) string { return path.Clean("/" + p) }
 
 // WriteFile creates (or replaces) a file with the given content — the host
-// API for seeding inputs before a run.
-func (s *FS) WriteFile(name string, data []byte) {
+// API for seeding inputs before a run and for parking serialized state
+// inside a candidate (service layer). It enforces the same MaxFileSize
+// bound as the fd-based Write path: oversized content is rejected with
+// ErrTooBig before any mutation, so a failed WriteFile leaves the view
+// untouched.
+func (s *FS) WriteFile(name string, data []byte) error {
+	if int64(len(data)) > MaxFileSize {
+		return ErrTooBig
+	}
 	name = cleanPath(name)
 	if old, ok := s.inodes[name]; ok {
 		old.release()
@@ -219,6 +227,37 @@ func (s *FS) WriteFile(name string, data []byte) {
 	f.writeAt(data, 0)
 	f.truncate(int64(len(data)))
 	s.inodes[name] = f
+	return nil
+}
+
+// UpdateFile replaces name's content with data, rewriting only the blocks
+// whose bytes actually change. Unmodified blocks stay physically shared
+// with snapshots that hold the previous version — the path the service
+// layer uses to park serialized solver state, where an extension changes
+// a suffix of the file and the common prefix keeps being shared by the
+// whole sibling set. Enforces the MaxFileSize bound like WriteFile; on
+// failure the view is untouched. Creates the file if absent.
+func (s *FS) UpdateFile(name string, data []byte) error {
+	if int64(len(data)) > MaxFileSize {
+		return ErrTooBig
+	}
+	name = cleanPath(name)
+	f, ok := s.inodes[name]
+	if !ok {
+		return s.WriteFile(name, data)
+	}
+	f = s.exclusive(name, f)
+	for off := 0; off < len(data); off += BlockSize {
+		chunk := data[off:min(off+BlockSize, len(data))]
+		bi := off / BlockSize
+		if bi < len(f.blocks) && f.blocks[bi] != nil &&
+			bytes.Equal(f.blocks[bi].data[:len(chunk)], chunk) {
+			continue // identical: keep sharing the old block
+		}
+		f.writeAt(chunk, int64(off))
+	}
+	f.truncate(int64(len(data)))
+	return nil
 }
 
 // ReadFile returns the full content of a file — the host inspection API.
@@ -471,6 +510,28 @@ func (sn *Snapshot) ReadFile(name string) ([]byte, error) {
 	out := make([]byte, f.size)
 	f.readAt(out, 0)
 	return out, nil
+}
+
+// Footprint reports the resident bytes of the frozen image, split into
+// bytes backed by storage physically shared with other views or snapshots
+// and privately owned bytes. A file whose inode is referenced by several
+// images is shared wholesale; a privately cloned inode still shares every
+// block it has not rewritten (block-level CoW).
+func (sn *Snapshot) Footprint() (privateBytes, sharedBytes int64) {
+	for _, f := range sn.inodes {
+		wholeFileShared := f.ref.Load() > 1
+		for _, b := range f.blocks {
+			if b == nil {
+				continue
+			}
+			if wholeFileShared || b.ref.Load() > 1 {
+				sharedBytes += BlockSize
+			} else {
+				privateBytes += BlockSize
+			}
+		}
+	}
+	return privateBytes, sharedBytes
 }
 
 // Files returns the sorted list of paths in the frozen image.

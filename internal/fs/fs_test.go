@@ -303,3 +303,31 @@ func TestOffsetValidation(t *testing.T) {
 		t.Errorf("size after append = %d, want 6", sz)
 	}
 }
+
+func TestWriteFileBound(t *testing.T) {
+	s := New()
+	defer s.Release()
+	s.WriteFile("/keep", []byte("intact"))
+
+	// MaxFileSize+1 bytes of untouched zero pages: the slice is virtual
+	// until written, and WriteFile must reject it before writing anything.
+	huge := make([]byte, MaxFileSize+1)
+	if err := s.WriteFile("/keep", huge); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized WriteFile = %v, want ErrTooBig", err)
+	}
+	// The rejected write must not have replaced or truncated the file.
+	if b, err := s.ReadFile("/keep"); err != nil || string(b) != "intact" {
+		t.Errorf("file after rejected WriteFile = %q, %v; want intact", b, err)
+	}
+	if err := s.WriteFile("/new", huge); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized WriteFile (new path) = %v, want ErrTooBig", err)
+	}
+	if _, err := s.Stat("/new"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rejected WriteFile created the file: %v", err)
+	}
+
+	// A normal-sized WriteFile still succeeds after the rejections.
+	if err := s.WriteFile("/small", huge[:4]); err != nil {
+		t.Errorf("small WriteFile = %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/solver"
+)
+
+// TestConcurrentExtendAcrossShards drives many clients branching one
+// shared base concurrently (the E13 shape) and asserts verdict stability,
+// the capacity bound, and zero live snapshots after Close. Run with -race:
+// the point is that lookups/parks on different references touch different
+// shards and the solve runs entirely off-lock.
+func TestConcurrentExtendAcrossShards(t *testing.T) {
+	const (
+		clients = 8
+		steps   = 12
+		capRefs = 24
+	)
+	s := NewWithConfig(Config{Capacity: capRefs, Shards: 8})
+	base, err := s.Extend(context.Background(), 0, [][]int{{1, 2}, {-1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(base.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var overCap atomic.Int64
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			prev := base.ID
+			for k := 0; k < steps; k++ {
+				r, err := s.Extend(context.Background(), prev, [][]int{{c + 4, -(k + 4)}})
+				if errors.Is(err, ErrEvicted) {
+					// Our chain tip aged out under the shared cap:
+					// restart from the pinned base, as a client would.
+					prev = base.ID
+					continue
+				}
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				prev = r.ID
+				refs, pinned := s.Counts()
+				if unpinned := refs - pinned; unpinned > capRefs {
+					overCap.Store(int64(unpinned))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	if n := overCap.Load(); n != 0 {
+		t.Errorf("unpinned refs reached %d, cap %d", n, capRefs)
+	}
+	if err := s.Touch(0); err != nil {
+		t.Errorf("root after load: %v", err)
+	}
+	if err := s.Touch(base.ID); err != nil {
+		t.Errorf("pinned base after load: %v", err)
+	}
+	s.Close()
+	if live := s.LiveSnapshots(); live != 0 {
+		t.Errorf("live snapshots after Close = %d, want 0", live)
+	}
+}
+
+// TestConcurrentExtendReleaseClose races Extend, Release, Pin/Unpin and a
+// mid-flight Close. Every operation must either succeed or fail with a
+// defined error, and Close must leave zero live snapshots regardless of
+// interleaving.
+func TestConcurrentExtendReleaseClose(t *testing.T) {
+	s := NewWithConfig(Config{Capacity: 16, Shards: 4})
+	var wg sync.WaitGroup
+	var ids sync.Map // id → struct{} of parked refs, racing with Release
+	stop := make(chan struct{})
+
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := s.Extend(context.Background(), 0, [][]int{{c + 1, k%5 + 1}})
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				ids.Store(r.ID, struct{}{})
+				if k%3 == 0 {
+					if err := s.Pin(r.ID); err != nil && !errors.Is(err, ErrEvicted) && !errors.Is(err, ErrUnknownRef) && !errors.Is(err, ErrClosed) {
+						t.Errorf("pin: %v", err)
+					}
+					if err := s.Unpin(r.ID); err != nil && !errors.Is(err, ErrEvicted) && !errors.Is(err, ErrUnknownRef) && !errors.Is(err, ErrClosed) {
+						t.Errorf("unpin: %v", err)
+					}
+				}
+			}
+		}(c)
+	}
+	// A releaser racing the extenders.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids.Range(func(k, _ any) bool {
+				id := k.(uint64)
+				ids.Delete(id)
+				err := s.Release(id)
+				if err != nil && !errors.Is(err, ErrEvicted) && !errors.Is(err, ErrUnknownRef) && !errors.Is(err, ErrClosed) {
+					t.Errorf("release %d: %v", id, err)
+				}
+				return false
+			})
+		}
+	}()
+	// A stats poller (footprint walk while extends are in flight).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+			}
+		}
+	}()
+
+	// Let the storm run, then close mid-flight. (Poll with the cheap
+	// Counts-style accessor and a breather, not a footprint-walking spin.)
+	for s.Stats().Extends < 60 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	s.Close()
+	close(stop)
+	wg.Wait()
+
+	if live := s.LiveSnapshots(); live != 0 {
+		t.Errorf("live snapshots after Close = %d, want 0", live)
+	}
+	if s.Refs() != 0 {
+		t.Errorf("refs after Close = %d, want 0", s.Refs())
+	}
+	if _, err := s.Extend(context.Background(), 0, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("extend after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent under repetition
+}
+
+// TestOversizedStateUnderConcurrency exercises the WriteFile failure path
+// while other extends succeed: a failed park must not disturb siblings.
+func TestOversizedStateUnderConcurrency(t *testing.T) {
+	orig := marshalState
+	defer func() { marshalState = orig }()
+	var flip atomic.Int64
+	// One shared oversized buffer: it is only ever length-checked (the fs
+	// bound rejects before reading), and per-call 1 GiB allocations make
+	// the test dominate the package's runtime.
+	huge := make([]byte, fs.MaxFileSize+1)
+	marshalState = func(sol *solver.Solver) []byte {
+		if flip.Add(1)%4 == 0 {
+			return huge
+		}
+		return orig(sol)
+	}
+	s := New()
+	var wg sync.WaitGroup
+	var okCount, bigCount atomic.Int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				_, err := s.Extend(context.Background(), 0, [][]int{{c + 1}})
+				switch {
+				case err == nil:
+					okCount.Add(1)
+				case errors.Is(err, fs.ErrTooBig):
+					bigCount.Add(1)
+				default:
+					t.Errorf("client %d: %v", c, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if okCount.Load() == 0 || bigCount.Load() == 0 {
+		t.Fatalf("want both outcomes, got ok=%d big=%d", okCount.Load(), bigCount.Load())
+	}
+	if got := s.Refs(); int64(got) != okCount.Load()+1 {
+		t.Errorf("refs = %d, want %d successful parks + root", got, okCount.Load())
+	}
+	s.Close()
+	if live := s.LiveSnapshots(); live != 0 {
+		t.Errorf("live snapshots after Close = %d, want 0", live)
+	}
+}

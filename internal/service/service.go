@@ -5,13 +5,24 @@
 // snapshot tree is the service's store — siblings share all unmodified
 // state physically, so a thousand variants of one base problem cost far
 // less than a thousand copies.
+//
+// The reference table is sharded across N locks, so concurrent Extends on
+// different references never contend: a lookup touches one shard, the
+// solve and capture run entirely off-lock, and the park touches one shard
+// again. Capacity is bounded — beyond Config.Capacity parked (unpinned)
+// references, the least-recently-used one is evicted and its snapshot
+// released. Evicted ids answer with ErrEvicted (distinct from an unknown
+// reference); pinned references and the permanent root (id 0) are never
+// evicted.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fs"
 	"repro/internal/mem"
@@ -19,11 +30,56 @@ import (
 	"repro/internal/solver"
 )
 
-// ErrClosed reports an operation on a closed service.
-var ErrClosed = errors.New("service: closed")
+// Errors distinguishable by clients (wrapped with the offending id).
+var (
+	// ErrClosed reports an operation on a closed service.
+	ErrClosed = errors.New("service: closed")
+	// ErrEvicted reports a reference dropped by capacity eviction — the
+	// problem existed but its parked snapshot was reclaimed under the
+	// Config.Capacity bound. Distinct from ErrUnknownRef so clients can
+	// re-derive the problem rather than treat it as a protocol mistake.
+	ErrEvicted = errors.New("evicted by capacity limit")
+	// ErrUnknownRef reports an id that was never issued or was released.
+	ErrUnknownRef = errors.New("unknown problem reference")
+	// ErrRootPermanent reports an attempt to release or unpin the root:
+	// reference 0 is the permanent empty base problem every client
+	// branches from, so destroying it would brick the service.
+	ErrRootPermanent = errors.New("service: root reference 0 is permanent")
+)
 
 // stateFile is where the serialized solver lives inside each candidate.
 const stateFile = "/solver.state"
+
+// solveSliceConflicts is the conflict budget of one Solve slice: the
+// granularity at which an in-flight Extend observes its context. Small
+// enough to bound cancellation latency to milliseconds, large enough
+// that slicing adds no measurable overhead to easy instances.
+const solveSliceConflicts = 4096
+
+// marshalState serializes a solver for parking. A seam so tests can
+// exercise the oversized-state path without building a >1 GiB solver.
+var marshalState = func(sol *solver.Solver) []byte { return sol.Marshal() }
+
+// tombstoneCap bounds the per-shard memory of evicted-id records: the ids
+// of the most recent evictions are remembered (ErrEvicted); beyond that a
+// very old evicted id degrades to ErrUnknownRef. Ids are 8 bytes, so this
+// keeps the "stay leak-free under load" property while still giving
+// clients a useful diagnostic for any recent eviction.
+const tombstoneCap = 4096
+
+// Config tunes the service. The zero value means defaults.
+type Config struct {
+	// Shards is the lock-shard count for the reference table, rounded up
+	// to a power of two. 0 means 16.
+	Shards int
+	// Capacity caps the number of parked unpinned references; beyond it
+	// the least-recently-used unpinned reference is evicted (its snapshot
+	// released, its id answering ErrEvicted). 0 means unbounded. Pinned
+	// references and the root do not count against the cap. The bound is
+	// strict as long as Capacity is at least the number of concurrent
+	// Extends (reservation happens before insertion).
+	Capacity int
+}
 
 // Result reports one Extend call.
 type Result struct {
@@ -38,56 +94,312 @@ type Result struct {
 	Learned int
 }
 
-// Service is a multi-path incremental SAT solver.
+// Stats is a point-in-time snapshot of the service's counters and the
+// physical-sharing footprint of everything parked.
+type Stats struct {
+	// Extends counts successfully served Extend calls.
+	Extends uint64
+	// Evictions counts references dropped by the capacity bound.
+	Evictions uint64
+	// Refs is the number of live references (pinned included).
+	Refs int
+	// Pinned is how many of those are pinned (root included).
+	Pinned int
+	// LiveSnapshots is the snapshot tree's live count.
+	LiveSnapshots int64
+	// PrivateBytes / SharedBytes sum the physical footprint over every
+	// parked snapshot — memory pages plus file blocks (the solver state
+	// is parked as a file, so fs blocks carry most of it). Shared counts
+	// storage physically shared with other snapshots: the paper's payoff,
+	// siblings of one base problem costing a fraction of full copies.
+	PrivateBytes int64
+	SharedBytes  int64
+}
+
+// SharedRatio is the fraction of parked pages shared between snapshots.
+func (st Stats) SharedRatio() float64 {
+	total := st.PrivateBytes + st.SharedBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(st.SharedBytes) / float64(total)
+}
+
+// entry is one parked reference. All fields are guarded by the owning
+// shard's mutex; the state itself is immutable and refcounted.
+type entry struct {
+	id      uint64
+	state   *snapshot.State
+	pinned  bool
+	lastUse uint64 // logical clock tick of the last lookup (LRU)
+	// Intrusive per-shard LRU list links (unpinned entries only):
+	// the shard's lruHead is its least recently used entry, so finding
+	// an eviction victim is O(1) per shard instead of a map scan.
+	prev, next *entry
+	inLRU      bool
+}
+
+// shard is one lock stripe of the reference table.
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]*entry
+
+	// Per-shard LRU list of unpinned entries; head = least recently used.
+	lruHead, lruTail *entry
+
+	// Ring of recently evicted ids (ErrEvicted tombstones), bounded by
+	// tombstoneCap so eviction churn cannot grow memory without bound.
+	evicted  map[uint64]struct{}
+	evictLog []uint64
+	evictPos int
+}
+
+// lruRemove unlinks e from the shard's LRU list. Callers hold sh.mu.
+func (sh *shard) lruRemove(e *entry) {
+	if !e.inLRU {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.lruTail = e.prev
+	}
+	e.prev, e.next, e.inLRU = nil, nil, false
+}
+
+// lruPushBack appends e as the shard's most recently used entry.
+func (sh *shard) lruPushBack(e *entry) {
+	e.prev, e.next = sh.lruTail, nil
+	if sh.lruTail != nil {
+		sh.lruTail.next = e
+	} else {
+		sh.lruHead = e
+	}
+	sh.lruTail = e
+	e.inLRU = true
+}
+
+// lruTouch moves e to the most-recently-used end.
+func (sh *shard) lruTouch(e *entry) {
+	sh.lruRemove(e)
+	sh.lruPushBack(e)
+}
+
+// missing explains why id is absent from the shard: recently evicted ids
+// answer ErrEvicted, everything else ErrUnknownRef. Callers hold sh.mu.
+func (sh *shard) missing(id uint64) error {
+	if _, gone := sh.evicted[id]; gone {
+		return fmt.Errorf("service: reference %d: %w", id, ErrEvicted)
+	}
+	return fmt.Errorf("service: %w %d", ErrUnknownRef, id)
+}
+
+func (sh *shard) tombstone(id uint64) {
+	if sh.evicted == nil {
+		sh.evicted = make(map[uint64]struct{})
+	}
+	if len(sh.evictLog) < tombstoneCap {
+		sh.evictLog = append(sh.evictLog, id)
+	} else {
+		delete(sh.evicted, sh.evictLog[sh.evictPos])
+		sh.evictLog[sh.evictPos] = id
+		sh.evictPos = (sh.evictPos + 1) % tombstoneCap
+	}
+	sh.evicted[id] = struct{}{}
+}
+
+// Service is a multi-path incremental SAT solver safe for concurrent use.
 type Service struct {
-	mu       sync.Mutex
-	tree     *snapshot.Tree
-	alloc    *mem.FrameAllocator
-	states   map[uint64]*snapshot.State
-	nextID   uint64
+	shards []*shard
+	mask   uint64
+
+	tree  *snapshot.Tree
+	alloc *mem.FrameAllocator
+
+	nextID    atomic.Uint64
+	clock     atomic.Uint64 // logical LRU clock
+	parked    atomic.Int64  // unpinned entries (+ in-flight parks)
+	pinned    atomic.Int64  // pinned entries (root included)
+	capacity  int
+	extends   atomic.Uint64
+	evictions atomic.Uint64
+
+	// closeMu serializes Close against the lookup/park critical sections.
+	// Extend holds it shared only around table touches — never across the
+	// solve — so Close cannot interleave with a park, and every in-flight
+	// solve is drained via the WaitGroup before the store is torn down.
+	closeMu  sync.RWMutex
 	closed   bool
 	inflight sync.WaitGroup
 }
 
-// New returns a service whose root problem (reference 0) is empty.
-func New() *Service {
-	s := &Service{
-		tree:   snapshot.NewTree(),
-		alloc:  mem.NewFrameAllocator(0),
-		states: map[uint64]*snapshot.State{},
+// New returns a service with default configuration (16 shards, unbounded
+// capacity) whose root problem (reference 0) is empty.
+func New() *Service { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns a service whose root problem (reference 0) is
+// empty. The root is permanently pinned: it can be neither released nor
+// evicted.
+func NewWithConfig(cfg Config) *Service {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
 	}
-	// Root candidate: empty filesystem, empty solver.
+	// Round up to a power of two so shardFor is a mask, not a modulo;
+	// clamp to a sane ceiling (shard count buys lock spread, not work).
+	const maxShards = 1 << 12
+	if n > maxShards {
+		n = maxShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	s := &Service{
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
+		tree:     snapshot.NewTree(),
+		alloc:    mem.NewFrameAllocator(0),
+		capacity: cfg.Capacity,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{entries: make(map[uint64]*entry)}
+	}
+	// Root candidate: empty filesystem, empty solver. Pinned forever.
 	as := mem.NewAddressSpace(s.alloc)
 	ctx := &snapshot.Context{Mem: as, FS: fs.New()}
-	s.states[0] = s.tree.Capture(ctx, nil)
+	s.shardFor(0).entries[0] = &entry{id: 0, state: s.tree.Capture(ctx, nil), pinned: true}
+	s.pinned.Store(1)
 	ctx.Release()
-	s.nextID = 1
 	return s
+}
+
+func (s *Service) shardFor(id uint64) *shard { return s.shards[id&s.mask] }
+
+// lookup retains the state behind id and bumps its LRU clock, and marks
+// one in-flight operation. On success the caller must Release the state
+// and call s.inflight.Done().
+func (s *Service) lookup(id uint64) (*snapshot.State, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.entries[id]
+	if !ok {
+		err := sh.missing(id)
+		sh.mu.Unlock()
+		return nil, err
+	}
+	e.lastUse = s.clock.Add(1)
+	if !e.pinned {
+		sh.lruTouch(e)
+	}
+	st := e.state.Retain()
+	sh.mu.Unlock()
+	// Ordering: Add happens while closeMu is held shared and after the
+	// closed check, so Close (exclusive lock, then Wait) cannot pass the
+	// Wait before this operation registers.
+	s.inflight.Add(1)
+	return st, nil
+}
+
+// park inserts child behind a fresh id, enforcing the capacity bound by
+// reserving a slot first and evicting LRU victims until the reservation
+// fits. On ErrClosed the child has been released.
+func (s *Service) park(child *snapshot.State) (uint64, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		child.Release()
+		return 0, ErrClosed
+	}
+	// Reserve before inserting: the counter over-approximates the number
+	// of unpinned entries, so evicting until it fits keeps the real entry
+	// count at or under the cap at every instant.
+	s.parked.Add(1)
+	if s.capacity > 0 {
+		for s.parked.Load() > int64(s.capacity) {
+			if !s.evictOne() {
+				break // everything evictable is a concurrent reservation or pinned
+			}
+		}
+	}
+	id := s.nextID.Add(1)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e := &entry{id: id, state: child, lastUse: s.clock.Add(1)}
+	sh.entries[id] = e
+	sh.lruPushBack(e)
+	sh.mu.Unlock()
+	return id, nil
+}
+
+// evictOne drops the least-recently-used unpinned reference: its snapshot
+// is released (shrinking LiveSnapshots unless a child still chains to it)
+// and its id is tombstoned to answer ErrEvicted. Returns false when no
+// victim exists. The LRU is approximate under concurrency: a reference
+// touched between the scan and the removal can still be chosen, which
+// costs the client a re-derive, never correctness.
+func (s *Service) evictOne() bool {
+	// Each shard's LRU-list head is its own oldest unpinned entry, so the
+	// global victim hunt is one O(1) head read per shard — not a scan of
+	// the entries maps — and parks at capacity stay cheap.
+	var victimShard *shard
+	var victimID uint64
+	var victimUse uint64
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if h := sh.lruHead; h != nil && (!found || h.lastUse < victimUse) {
+			found, victimShard, victimID, victimUse = true, sh, h.id, h.lastUse
+		}
+		sh.mu.Unlock()
+	}
+	if !found {
+		return false
+	}
+	victimShard.mu.Lock()
+	e, ok := victimShard.entries[victimID]
+	if !ok || e.pinned {
+		// Raced with a Release or Pin; the counter moved, so report
+		// progress and let the caller re-check it.
+		victimShard.mu.Unlock()
+		return true
+	}
+	victimShard.lruRemove(e)
+	delete(victimShard.entries, victimID)
+	victimShard.tombstone(victimID)
+	victimShard.mu.Unlock()
+	s.parked.Add(-1)
+	s.evictions.Add(1)
+	e.state.Release()
+	return true
 }
 
 // Extend solves states[id] ∧ clauses and parks the result behind a new
 // reference. The parent reference stays valid — callers can branch the
 // same base problem many ways (the "multi-path" in the paper's name).
-// ctx is observed before and after the solve: a cancelled Extend returns
-// ctx.Err() without parking a reference or leaking a snapshot. A nil ctx
-// means context.Background().
+// ctx is observed between clause loads, between conflict-budget slices of
+// the solve, and before parking: a cancelled or deadlined Extend returns
+// ctx.Err() within one solve slice, without parking a reference or
+// leaking a snapshot. A nil ctx means context.Background(). Extend never
+// holds a lock across the solve, so concurrent Extends contend only when
+// they touch the same table shard for the O(1) lookup/park steps.
 func (s *Service) Extend(ctx context.Context, id uint64, clauses [][]int) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return Result{}, ErrClosed
+	parent, err := s.lookup(id)
+	if err != nil {
+		return Result{}, err
 	}
-	parent, ok := s.states[id]
-	if !ok {
-		s.mu.Unlock()
-		return Result{}, fmt.Errorf("service: unknown problem reference %d", id)
-	}
-	parent.Retain() // keep alive while we work unlocked
-	s.inflight.Add(1)
-	s.mu.Unlock()
 	defer s.inflight.Done()
 	defer parent.Release()
 
@@ -115,7 +427,21 @@ func (s *Service) Extend(ctx context.Context, id uint64, clauses [][]int) (Resul
 			return Result{}, err
 		}
 	}
-	verdict := sol.Solve(0)
+	// Solve in conflict-budget slices so a cancelled or deadlined ctx
+	// interrupts even a hard instance mid-solve (learned clauses persist
+	// across slices, so the chunking costs only the restart). This is
+	// what lets a server drain in-flight extends on shutdown instead of
+	// waiting out an unbounded solve.
+	var verdict solver.Status
+	for {
+		verdict = sol.Solve(solveSliceConflicts)
+		if verdict != solver.Unknown {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	res := Result{Verdict: verdict, Learned: sol.NumLearnts()}
 	if verdict == solver.Sat {
 		res.Model = sol.Model()
@@ -123,42 +449,191 @@ func (s *Service) Extend(ctx context.Context, id uint64, clauses [][]int) (Resul
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	cand.FS.WriteFile(stateFile, sol.Marshal())
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return Result{}, ErrClosed
+	// Block-aware update: only the state bytes this extension changed are
+	// rewritten, so the common prefix (the base problem's clauses) stays
+	// physically shared across the whole sibling set. A state too large
+	// to park fails the whole Extend — no reference is parked, nothing
+	// leaks, and the parent stays usable.
+	if err := cand.FS.UpdateFile(stateFile, marshalState(sol)); err != nil {
+		return Result{}, fmt.Errorf("service: parking state for extension of %d: %w", id, err)
 	}
-	res.ID = s.nextID
-	s.nextID++
-	s.states[res.ID] = s.tree.Capture(cand, parent)
-	s.mu.Unlock()
+
+	res.ID, err = s.park(s.tree.Capture(cand, parent))
+	if err != nil {
+		return Result{}, err
+	}
+	s.extends.Add(1)
 	return res, nil
 }
 
-// Release drops a problem reference.
+// Release drops a problem reference. The root (id 0) is permanent and
+// cannot be released.
 func (s *Service) Release(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.states[id]
-	if !ok {
-		return fmt.Errorf("service: unknown problem reference %d", id)
+	if id == 0 {
+		return ErrRootPermanent
 	}
-	delete(s.states, id)
-	st.Release()
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.entries[id]
+	if !ok {
+		err := sh.missing(id)
+		sh.mu.Unlock()
+		return err
+	}
+	sh.lruRemove(e)
+	delete(sh.entries, id)
+	sh.mu.Unlock()
+	if e.pinned {
+		s.pinned.Add(-1)
+	} else {
+		s.parked.Add(-1)
+	}
+	e.state.Release()
 	return nil
+}
+
+// Pin exempts a reference from capacity eviction (the root is always
+// pinned). Pinning is idempotent.
+func (s *Service) Pin(id uint64) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return sh.missing(id)
+	}
+	if !e.pinned {
+		e.pinned = true
+		sh.lruRemove(e)
+		s.parked.Add(-1)
+		s.pinned.Add(1)
+	}
+	return nil
+}
+
+// Touch bumps a reference's LRU clock without extending it — a client
+// keep-alive against capacity eviction, and a side-effect-free liveness
+// probe. Returns nil for a live reference, ErrEvicted or ErrUnknownRef
+// otherwise.
+func (s *Service) Touch(id uint64) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return sh.missing(id)
+	}
+	e.lastUse = s.clock.Add(1)
+	if !e.pinned {
+		sh.lruTouch(e)
+	}
+	return nil
+}
+
+// Unpin makes a reference evictable again. The root cannot be unpinned.
+func (s *Service) Unpin(id uint64) error {
+	if id == 0 {
+		return ErrRootPermanent
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.entries[id]
+	if !ok {
+		err := sh.missing(id)
+		sh.mu.Unlock()
+		return err
+	}
+	if !e.pinned {
+		sh.mu.Unlock()
+		return nil
+	}
+	e.pinned = false
+	e.lastUse = s.clock.Add(1)
+	sh.lruPushBack(e)
+	sh.mu.Unlock()
+	s.pinned.Add(-1)
+	if s.parked.Add(1) > int64(s.capacity) && s.capacity > 0 {
+		s.evictOne()
+	}
+	return nil
+}
+
+// Counts reports the live reference and pinned counts without walking
+// footprints — cheap enough to poll while the service is under load
+// (the E13 bound sampler and monitoring loops use it instead of Stats).
+func (s *Service) Counts() (refs, pinned int) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		refs += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return refs, int(s.pinned.Load())
 }
 
 // Refs returns the number of live problem references.
 func (s *Service) Refs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.states)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // LiveSnapshots returns the snapshot tree's live count (diagnostics).
 func (s *Service) LiveSnapshots() int64 { return s.tree.Live() }
+
+// Stats gathers counters and the parked sharing footprint. The footprint
+// walk runs off-lock against retained (frozen, read-safe) snapshots, so
+// it can be polled while Extends are in flight.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Extends:       s.extends.Load(),
+		Evictions:     s.evictions.Load(),
+		LiveSnapshots: s.tree.Live(),
+	}
+	var held []*snapshot.State
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			st.Refs++
+			if e.pinned {
+				st.Pinned++
+			}
+			held = append(held, e.state.Retain())
+		}
+		sh.mu.Unlock()
+	}
+	for _, state := range held {
+		fp := state.Footprint()
+		priv, shared := state.FS().Footprint()
+		st.PrivateBytes += fp.PrivateBytes() + priv
+		st.SharedBytes += fp.SharedBytes() + shared
+		state.Release()
+	}
+	return st
+}
 
 // Close shuts the service down gracefully: new Extends are refused with
 // ErrClosed; in-flight Extends drain first — one that finishes its solve
@@ -166,19 +641,25 @@ func (s *Service) LiveSnapshots() int64 { return s.tree.Live() }
 // then every parked reference is released. After Close returns,
 // LiveSnapshots reports 0. Close is idempotent.
 func (s *Service) Close() {
-	s.mu.Lock()
+	s.closeMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.closeMu.Unlock()
 		return
 	}
 	s.closed = true
-	s.mu.Unlock()
+	s.closeMu.Unlock()
 	s.inflight.Wait()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, st := range s.states {
-		st.Release()
-		delete(s.states, id)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, e := range sh.entries {
+			e.state.Release()
+			delete(sh.entries, id)
+		}
+		sh.lruHead, sh.lruTail = nil, nil
+		sh.evicted, sh.evictLog, sh.evictPos = nil, nil, 0
+		sh.mu.Unlock()
 	}
+	s.parked.Store(0)
+	s.pinned.Store(0)
 }

@@ -3,9 +3,10 @@ package service
 import (
 	"context"
 	"errors"
-
 	"testing"
+	"time"
 
+	"repro/internal/fs"
 	"repro/internal/solver"
 )
 
@@ -133,6 +134,20 @@ func TestCloseRefusesNewExtends(t *testing.T) {
 	if _, err := s.Extend(context.Background(), 0, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
+	// Every table operation reports ErrClosed — not ErrUnknownRef, which
+	// would claim the permanent root never existed.
+	if err := s.Touch(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Touch after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Release(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Release after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Pin(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Pin after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Unpin(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Unpin after Close = %v, want ErrClosed", err)
+	}
 	s.Close() // idempotent
 	if s.LiveSnapshots() != 0 {
 		t.Errorf("live snapshots = %d after Close", s.LiveSnapshots())
@@ -153,5 +168,199 @@ func TestLearnedClausesCarry(t *testing.T) {
 	}
 	if r2.Verdict != solver.Unsat {
 		t.Errorf("php4 = %v, want unsat", r2.Verdict)
+	}
+}
+
+func TestRootPermanent(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.Release(0); !errors.Is(err, ErrRootPermanent) {
+		t.Fatalf("Release(0) = %v, want ErrRootPermanent", err)
+	}
+	if err := s.Unpin(0); !errors.Is(err, ErrRootPermanent) {
+		t.Fatalf("Unpin(0) = %v, want ErrRootPermanent", err)
+	}
+	// The root must remain usable after the refused release.
+	if r, err := s.Extend(context.Background(), 0, [][]int{{1}}); err != nil || r.Verdict != solver.Sat {
+		t.Errorf("extend 0 after refused release: %+v, %v", r, err)
+	}
+}
+
+func TestEvictionCapLRU(t *testing.T) {
+	s := NewWithConfig(Config{Capacity: 3, Shards: 4})
+	defer s.Close()
+
+	ids := make([]uint64, 0, 6)
+	for i := 1; i <= 6; i++ {
+		r, err := s.Extend(context.Background(), 0, [][]int{{i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, r.ID)
+		if unpinned := s.Refs() - 1; unpinned > 3 {
+			t.Fatalf("after extend %d: %d unpinned refs, cap 3", i, unpinned)
+		}
+	}
+	// Three oldest evicted, three newest alive, root untouched.
+	st := s.Stats()
+	if st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+	for _, id := range ids[:3] {
+		if _, err := s.Extend(context.Background(), id, nil); !errors.Is(err, ErrEvicted) {
+			t.Errorf("extend evicted %d = %v, want ErrEvicted", id, err)
+		}
+		if err := s.Release(id); !errors.Is(err, ErrEvicted) {
+			t.Errorf("release evicted %d = %v, want ErrEvicted", id, err)
+		}
+	}
+	for _, id := range ids[3:] {
+		if err := s.Touch(id); err != nil {
+			t.Errorf("touch live %d = %v", id, err)
+		}
+	}
+	// Eviction released the snapshots: the live count tracks the table
+	// (root + 3 survivors, all direct children of the root), not the 7
+	// captured over the test's lifetime.
+	if live := s.LiveSnapshots(); live != 4 {
+		t.Errorf("live = %d, want 4 (root + 3 survivors)", live)
+	}
+}
+
+func TestLRUTouchOrder(t *testing.T) {
+	s := NewWithConfig(Config{Capacity: 3})
+	defer s.Close()
+	var ids []uint64
+	for i := 1; i <= 3; i++ {
+		r, err := s.Extend(context.Background(), 0, [][]int{{i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, r.ID)
+	}
+	// Touch the oldest (ids[0]) by extending it: the resulting park must
+	// evict ids[1], now the least recently used.
+	r, err := s.Extend(context.Background(), ids[0], [][]int{{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch(ids[1]); !errors.Is(err, ErrEvicted) {
+		t.Errorf("LRU victim: touch %d = %v, want ErrEvicted", ids[1], err)
+	}
+	for _, id := range []uint64{ids[0], ids[2], r.ID} {
+		if err := s.Touch(id); err != nil {
+			t.Errorf("non-LRU %d: %v", id, err)
+		}
+	}
+}
+
+func TestPinSurvivesEviction(t *testing.T) {
+	s := NewWithConfig(Config{Capacity: 2})
+	defer s.Close()
+	base, err := s.Extend(context.Background(), 0, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(base.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 8; i++ {
+		if _, err := s.Extend(context.Background(), 0, [][]int{{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Extend(context.Background(), base.ID, nil); err != nil {
+		t.Errorf("pinned ref evicted: %v", err)
+	}
+	st := s.Stats()
+	if st.Pinned != 2 { // root + base
+		t.Errorf("pinned = %d, want 2", st.Pinned)
+	}
+	if unpinned := st.Refs - st.Pinned; unpinned > 2 {
+		t.Errorf("unpinned refs = %d, cap 2", unpinned)
+	}
+	// Unpinned again it becomes evictable on the next over-cap park.
+	if err := s.Unpin(base.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(base.ID); err != nil { // pin back: idempotent round-trip
+		t.Fatal(err)
+	}
+	if err := s.Pin(base.ID); err != nil {
+		t.Errorf("re-pin = %v, want idempotent nil", err)
+	}
+}
+
+func TestOversizedStateNotParked(t *testing.T) {
+	orig := marshalState
+	defer func() { marshalState = orig }()
+	// MaxFileSize+1 bytes of untouched zero pages: rejected by the fs
+	// bound before any block is allocated.
+	huge := make([]byte, fs.MaxFileSize+1)
+	marshalState = func(sol *solver.Solver) []byte { return huge }
+	s := New()
+	defer s.Close()
+	refs, live := s.Refs(), s.LiveSnapshots()
+	if _, err := s.Extend(context.Background(), 0, [][]int{{1}}); !errors.Is(err, fs.ErrTooBig) {
+		t.Fatalf("oversized extend = %v, want fs.ErrTooBig", err)
+	}
+	if s.Refs() != refs || s.LiveSnapshots() != live {
+		t.Errorf("failed extend parked state: refs %d→%d live %d→%d",
+			refs, s.Refs(), live, s.LiveSnapshots())
+	}
+	// The parent stays usable once states fit again.
+	marshalState = orig
+	if r, err := s.Extend(context.Background(), 0, [][]int{{1}}); err != nil || r.Verdict != solver.Sat {
+		t.Errorf("extend after failed park: %+v, %v", r, err)
+	}
+}
+
+func TestStatsFootprintSharing(t *testing.T) {
+	s := New()
+	defer s.Close()
+	base, err := s.Extend(context.Background(), 0, solver.Random3SAT(150, 620, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := s.Extend(context.Background(), base.ID, [][]int{{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Extends != 5 {
+		t.Errorf("extends = %d, want 5", st.Extends)
+	}
+	if st.Refs != 6 || st.LiveSnapshots == 0 {
+		t.Errorf("refs=%d live=%d", st.Refs, st.LiveSnapshots)
+	}
+	// Five siblings of one solved base: the bulk of their pages must be
+	// physically shared — that is the §3.2 payoff the table stores.
+	if st.SharedBytes == 0 || st.SharedRatio() < 0.5 {
+		t.Errorf("shared ratio = %.2f (%d shared / %d private bytes), want > 0.5",
+			st.SharedRatio(), st.SharedBytes, st.PrivateBytes)
+	}
+}
+
+// TestDeadlineInterruptsHardSolve: the solve runs in conflict-budget
+// slices, so a ctx deadline interrupts even an instance whose proof would
+// otherwise run unbounded (pigeonhole-9 is far beyond this solver) —
+// which is what lets a draining server not wait out hard solves.
+func TestDeadlineInterruptsHardSolve(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Extend(ctx, 0, solver.Pigeonhole(9))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v after %v, want DeadlineExceeded", err, elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("deadline observed only after %v; slicing is not bounding the solve", elapsed)
+	}
+	if s.Refs() != 1 || s.LiveSnapshots() != 1 {
+		t.Errorf("interrupted extend leaked: refs=%d live=%d", s.Refs(), s.LiveSnapshots())
 	}
 }

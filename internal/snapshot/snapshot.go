@@ -11,6 +11,7 @@
 package snapshot
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/fs"
@@ -81,19 +82,30 @@ func (s *State) Footprint() mem.Footprint { return s.mem.Footprint() }
 // extraction, checkpoint baselines). Callers must not write through it.
 func (s *State) Mem() *mem.AddressSpace { return s.mem }
 
-// Retain adds a reference.
+// Retain adds a reference. Retaining a snapshot whose count already hit
+// zero is a use-after-free — the backing pages and file blocks may already
+// be recycled — so it panics instead of resurrecting the state.
 func (s *State) Retain() *State {
-	s.refs.Add(1)
+	if s.refs.Add(1) <= 1 {
+		panic(fmt.Sprintf("snapshot: retain after free of state %d", s.id))
+	}
 	return s
 }
 
 // Release drops a reference; the last release frees the snapshot and drops
 // its reference on the parent. Chains release iteratively so very deep
-// snapshot trees (E8) cannot overflow the Go stack.
+// snapshot trees (E8) cannot overflow the Go stack. A release that drives
+// the count negative is a double-release: it panics with the state id
+// rather than silently corrupting the tree's live accounting (and
+// potentially freeing a snapshot still held elsewhere).
 func (s *State) Release() {
 	for s != nil {
-		if s.refs.Add(-1) != 0 {
+		n := s.refs.Add(-1)
+		if n > 0 {
 			return
+		}
+		if n < 0 {
+			panic(fmt.Sprintf("snapshot: double release of state %d", s.id))
 		}
 		s.mem.Release()
 		s.fsys.Release()

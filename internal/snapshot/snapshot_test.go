@@ -1,6 +1,8 @@
 package snapshot
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/fs"
@@ -193,4 +195,45 @@ func TestOutBufferNotAliased(t *testing.T) {
 	if snap.Out()[0] != 'a' {
 		t.Error("restore output aliases snapshot buffer")
 	}
+}
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic = %q, want it to contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+	snap := tree.Capture(ctx, nil)
+	id := snap.ID()
+	snap.Release()
+	mustPanic(t, fmt.Sprintf("double release of state %d", id), snap.Release)
+	// Accounting must not have gone negative behind the panic.
+	if tree.Live() != 0 {
+		t.Errorf("live = %d after double release, want 0", tree.Live())
+	}
+}
+
+func TestRetainAfterFreePanics(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	tree := NewTree()
+	ctx := newCtx(t, alloc)
+	defer ctx.Release()
+	snap := tree.Capture(ctx, nil)
+	id := snap.ID()
+	snap.Release()
+	mustPanic(t, fmt.Sprintf("retain after free of state %d", id), func() { snap.Retain() })
 }

@@ -3,6 +3,7 @@ package solver
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 )
 
 // Marshal serializes the solver's persistent state — problem clauses,
@@ -11,75 +12,106 @@ import (
 // multi-path incremental solver service of §3.2 park "problem p, solved"
 // behind an opaque snapshot reference and later extend it with q.
 //
-// Layout (little-endian): magic, nVars, then clause sections, then phases.
+// The byte layout is built for block-level CoW sharing between a parked
+// parent state and its extensions (fs.UpdateFile): the most stable bytes
+// come first and everything volatile sits at the end.
+//
+//   - Sections, in order (all words little-endian uint64): problem-clause
+//     data, learned-clause data, level-0 trail literals, phases, then a
+//     fixed-size footer [nClauses, nLearnts, nFacts, nVars, ok, magic].
+//     An extension appends clauses, so the parent's clause bytes are a
+//     bytewise prefix of the child's and their shared blocks stay shared.
+//   - No section begins with its own count — counts live in the footer —
+//     so adding a clause shifts nothing before the learnt section.
+//   - Literals are emitted in canonical (sorted) order: propagation swaps
+//     watched literals inside clauses, so without canonicalization two
+//     solvers holding the same logical clauses would marshal to different
+//     bytes. Unmarshal rebuilds watches through AddClause, which accepts
+//     any literal order, so this changes no semantics.
 func (s *Solver) Marshal() []byte {
 	s.cancelUntil(0)
 	var buf []byte
 	put64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
-	put64(solverMagic)
-	put64(uint64(s.nVars))
-	ok := uint64(0)
-	if s.ok {
-		ok = 1
-	}
-	put64(ok)
 	writeClauses := func(cs [][]lit) {
-		put64(uint64(len(cs)))
+		var tmp []int64
 		for _, cl := range cs {
 			put64(uint64(len(cl)))
+			tmp = tmp[:0]
 			for _, l := range cl {
-				put64(uint64(int64(l.ext())))
+				tmp = append(tmp, int64(l.ext()))
+			}
+			slices.Sort(tmp)
+			for _, v := range tmp {
+				put64(uint64(v))
 			}
 		}
 	}
 	writeClauses(s.clauses)
 	writeClauses(s.learnts)
 	// Level-0 facts (the trail bottom) and phases.
-	put64(uint64(len(s.trail)))
 	for _, l := range s.trail {
 		put64(uint64(int64(l.ext())))
 	}
 	for v := 1; v <= s.nVars; v++ {
 		put64(uint64(int64(s.phase[v])))
 	}
+	// Footer.
+	put64(uint64(len(s.clauses)))
+	put64(uint64(len(s.learnts)))
+	put64(uint64(len(s.trail)))
+	put64(uint64(s.nVars))
+	ok := uint64(0)
+	if s.ok {
+		ok = 1
+	}
+	put64(ok)
+	put64(solverMagic)
 	return buf
 }
 
 const solverMagic = 0x53415453_4e415053 // "SNAPSATS"
 
+// footerWords is the fixed trailer size of the Marshal format.
+const footerWords = 6
+
 // Unmarshal reconstructs a solver from Marshal output.
 func Unmarshal(data []byte) (*Solver, error) {
+	if len(data) < footerWords*8 || len(data)%8 != 0 {
+		return nil, fmt.Errorf("solver: truncated state (%d bytes)", len(data))
+	}
+	foot := len(data) - footerWords*8
+	ftr := func(i int) uint64 { return binary.LittleEndian.Uint64(data[foot+8*i:]) }
+	nClauses, nLearnts, nFacts := ftr(0), ftr(1), ftr(2)
+	nv, okFlag, magic := ftr(3), ftr(4), ftr(5)
+	if magic != solverMagic {
+		return nil, fmt.Errorf("solver: bad state magic")
+	}
+	// Every count must fit the body it describes: the phases section alone
+	// needs nv words, and each clause/fact at least one. Rejecting here
+	// keeps a corrupt footer from sizing the solver (New allocates O(nv))
+	// or the section loops off untrusted numbers.
+	if nv > uint64(foot)/8 || nClauses > uint64(foot)/8 || nLearnts > uint64(foot)/8 || nFacts > uint64(foot)/8 {
+		return nil, fmt.Errorf("solver: footer counts exceed state size")
+	}
+
 	off := 0
 	get64 := func() (uint64, error) {
-		if off+8 > len(data) {
+		if off+8 > foot {
 			return 0, fmt.Errorf("solver: truncated state at %d", off)
 		}
 		v := binary.LittleEndian.Uint64(data[off:])
 		off += 8
 		return v, nil
 	}
-	magic, err := get64()
-	if err != nil || magic != solverMagic {
-		return nil, fmt.Errorf("solver: bad state magic")
-	}
-	nv, err := get64()
-	if err != nil {
-		return nil, err
-	}
-	okFlag, err := get64()
-	if err != nil {
-		return nil, err
-	}
 	s := New(int(nv))
-	readClauses := func(addLearnt bool) error {
-		n, err := get64()
-		if err != nil {
-			return err
-		}
+	readClauses := func(n uint64) error {
 		for i := uint64(0); i < n; i++ {
 			ln, err := get64()
 			if err != nil {
 				return err
+			}
+			if ln > uint64(foot-off)/8 {
+				return fmt.Errorf("solver: clause length %d overruns state", ln)
 			}
 			ext := make([]int, ln)
 			for j := range ext {
@@ -87,7 +119,15 @@ func Unmarshal(data []byte) (*Solver, error) {
 				if err != nil {
 					return err
 				}
-				ext[j] = int(int64(v))
+				l := int64(v)
+				// A well-formed state never names a variable beyond
+				// nVars (Marshal's nVars covers every clause); an
+				// out-of-range literal would make AddClause allocate
+				// O(|literal|) off corrupt bytes.
+				if l == 0 || l > int64(nv) || l < -int64(nv) {
+					return fmt.Errorf("solver: literal %d out of range for %d vars", l, nv)
+				}
+				ext[j] = int(l)
 			}
 			if err := s.AddClause(ext...); err != nil {
 				return err
@@ -95,17 +135,13 @@ func Unmarshal(data []byte) (*Solver, error) {
 		}
 		return nil
 	}
-	if err := readClauses(false); err != nil {
+	if err := readClauses(nClauses); err != nil {
 		return nil, err
 	}
 	// Learned clauses re-enter as ordinary clauses: they are logical
 	// consequences, so correctness is unaffected and their propagation
 	// power is preserved.
-	if err := readClauses(true); err != nil {
-		return nil, err
-	}
-	nFacts, err := get64()
-	if err != nil {
+	if err := readClauses(nLearnts); err != nil {
 		return nil, err
 	}
 	for i := uint64(0); i < nFacts; i++ {
@@ -113,7 +149,11 @@ func Unmarshal(data []byte) (*Solver, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := s.AddClause(int(int64(v))); err != nil {
+		l := int64(v)
+		if l == 0 || l > int64(nv) || l < -int64(nv) {
+			return nil, fmt.Errorf("solver: fact literal %d out of range for %d vars", l, nv)
+		}
+		if err := s.AddClause(int(l)); err != nil {
 			return nil, err
 		}
 	}
@@ -125,6 +165,12 @@ func Unmarshal(data []byte) (*Solver, error) {
 		if v < len(s.phase) {
 			s.phase[v] = int8(int64(ph))
 		}
+	}
+	// The footer counts must account for every body byte: trailing data
+	// means the counts are inconsistent with the sections, and a solver
+	// silently missing constraints could answer sat for an unsat problem.
+	if off != foot {
+		return nil, fmt.Errorf("solver: %d state bytes unaccounted for by footer counts", foot-off)
 	}
 	if okFlag == 0 {
 		s.ok = false

@@ -1,6 +1,9 @@
 package solver
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 func TestMarshalRoundTrip(t *testing.T) {
 	s := New(0)
@@ -64,5 +67,48 @@ func TestUnmarshalErrors(t *testing.T) {
 	data := s.Marshal()
 	if _, err := Unmarshal(data[:len(data)-4]); err == nil {
 		t.Error("truncated data accepted")
+	}
+}
+
+// TestUnmarshalCorruptFooter: footer words inconsistent with the body must
+// error out, not panic, OOM, or silently drop constraints — a solversvc
+// state file is long-lived and a corrupt one must fail the Extend cleanly.
+func TestUnmarshalCorruptFooter(t *testing.T) {
+	s := New(3)
+	s.AddClause(1, 2)
+	s.AddClause(-1, 3)
+	s.Solve(0)
+	good := s.Marshal()
+
+	corrupt := func(word int, v uint64) []byte {
+		d := append([]byte{}, good...)
+		binary.LittleEndian.PutUint64(d[len(d)-6*8+word*8:], v)
+		return d
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"huge nVars", corrupt(3, 1<<50)},
+		{"huge nClauses", corrupt(0, 1<<50)},
+		{"huge nFacts", corrupt(2, 1<<50)},
+		{"undercounted clauses (trailing bytes)", corrupt(0, 0)},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// An out-of-range literal in the body (first clause word after the
+	// two-literal header... first clause begins at word 0: len=2).
+	d := append([]byte{}, good...)
+	binary.LittleEndian.PutUint64(d[8:], uint64(1)<<50) // first literal
+	if _, err := Unmarshal(d); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+
+	if _, err := Unmarshal(good); err != nil {
+		t.Errorf("pristine state rejected: %v", err)
 	}
 }

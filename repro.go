@@ -17,7 +17,10 @@
 //	symexec    the S2E-style multi-path symbolic executor
 //	wam        the Prolog comparator
 //	checkpoint full-copy/incremental checkpoint and eager-fork baselines
-//	bench      the E1–E12 experiment harness
+//	service    the §3.2 multi-path solver service: a sharded, LRU-evicting
+//	           reference table over the snapshot tree, served concurrently
+//	           by cmd/solversvc (stdin/stdout or TCP with -listen)
+//	bench      the E1–E13 experiment harness
 //
 // # Quickstart
 //
