@@ -1,5 +1,5 @@
 // Command snapbench regenerates the reproduction's experiment tables
-// (E1–E13 in DESIGN.md / EXPERIMENTS.md).
+// (E1–E14 in DESIGN.md / EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -27,7 +27,7 @@ func main() {
 	// First signal: finish the current experiment, skip the rest. Restore
 	// default handling so a second signal kills immediately.
 	go func() { <-ctx.Done(); stop() }()
-	id := flag.Int("e", 0, "experiment id (1-13); 0 runs all")
+	id := flag.Int("e", 0, "experiment id (1-14); 0 runs all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

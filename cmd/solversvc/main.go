@@ -22,7 +22,11 @@
 // Reference 0 is the permanent empty root problem: it can be neither
 // released nor evicted, so `extend 0 ...` always works. With -cap N the
 // service keeps at most N unpinned references; older ones are LRU-evicted
-// and answer "evicted" errors afterwards.
+// and answer "evicted" errors afterwards. With -store DIR, eviction
+// demotes to a content-addressed on-disk tier instead of dropping:
+// demoted ids transparently reload on access, shutdown demotes every
+// parked reference, and a restarted server with the same -store answers
+// the ids a previous process parked.
 //
 // Example session:
 //
@@ -49,6 +53,7 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // maxLineBytes bounds one protocol line (a large extend carries many
@@ -76,7 +81,9 @@ const helpText = `commands:
 rules: reference 0 is the permanent empty base problem — it can be neither
 released nor evicted, so every session can branch from it. With -cap N at
 most N unpinned references stay parked; the least recently used beyond
-that are evicted and answer "evicted" errors afterwards.`
+that are evicted and answer "evicted" errors afterwards — unless -store
+DIR is set, in which case they demote to disk and reload on access, and a
+restarted server recovers every previously-parked reference.`
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,9 +96,23 @@ func main() {
 	capacity := flag.Int("cap", 0, "max parked unpinned references; 0 = unbounded; LRU-evicted beyond")
 	shards := flag.Int("shards", 0, "reference-table lock shards (0 = default)")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request deadline for extend (0 disables)")
+	storeDir := flag.String("store", "", "persistence directory: evictions demote to disk instead of dropping, and a restart recovers previously-parked ids")
 	flag.Parse()
 
-	svc := service.NewWithConfig(service.Config{Capacity: *capacity, Shards: *shards})
+	var cold *store.Store
+	if *storeDir != "" {
+		var err error
+		cold, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solversvc:", err)
+			os.Exit(1)
+		}
+		if n := len(cold.IDs()); n > 0 {
+			fmt.Fprintf(os.Stderr, "solversvc: recovered %d parked reference(s) from %s (max id %d)\n",
+				n, *storeDir, cold.MaxID())
+		}
+	}
+	svc := service.NewWithConfig(service.Config{Capacity: *capacity, Shards: *shards, Store: cold})
 	cfg := config{reqTimeout: *reqTimeout}
 
 	var sessionErr error
@@ -114,9 +135,19 @@ func main() {
 		}
 	}
 
-	// Graceful teardown: release every parked snapshot and verify none leak.
+	// Graceful teardown: release every parked snapshot (demoting each one
+	// to the store first, when -store is set, so a restart can answer the
+	// ids this process parked) and verify none leak.
 	interrupted := ctx.Err() != nil
 	svc.Close()
+	if cold != nil {
+		if n := svc.Stats().SpillFailures; n > 0 {
+			fmt.Fprintf(os.Stderr, "solversvc: %d reference(s) could not be demoted to the store and were dropped\n", n)
+		}
+		if err := cold.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "solversvc: closing store: %v\n", err)
+		}
+	}
 	live := svc.LiveSnapshots()
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "solversvc: signal received; shut down gracefully (live-snapshots=%d)\n", live)
@@ -284,9 +315,10 @@ func handle(ctx context.Context, svc *service.Service, out *bufio.Writer, fields
 		fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
 	case "stats":
 		st := svc.Stats()
-		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f\n",
+		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f spills=%d spill-failures=%d reloads=%d cold-bytes=%d cold-shared-ratio=%.2f\n",
 			st.Extends, st.Evictions, st.Refs, st.Pinned, st.LiveSnapshots,
-			st.PrivateBytes, st.SharedBytes, st.SharedRatio())
+			st.PrivateBytes, st.SharedBytes, st.SharedRatio(),
+			st.Spills, st.SpillFailures, st.Reloads, st.ColdBytes, st.ColdSharedRatio)
 	case "release", "pin", "unpin", "touch":
 		id, ok := parseID()
 		if !ok {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // session runs input through one stdio-style session and returns the output.
@@ -174,5 +175,75 @@ func TestTCPSessionsShareTree(t *testing.T) {
 	}
 	if _, err := brA.ReadString('\n'); err == nil {
 		t.Error("client A connection still open after drain")
+	}
+}
+
+// TestStoreRestartRecoversSession simulates two server generations over
+// one -store directory: generation 1 parks a chain under a tiny cap and
+// shuts down (demoting everything); generation 2 opens the same
+// directory and must answer the old ids — including one that was
+// demoted mid-run — with working extends, while a service WITHOUT the
+// store answers "evicted"/"unknown" for the same protocol exchange.
+func TestStoreRestartRecoversSession(t *testing.T) {
+	dir := t.TempDir()
+
+	open := func() (*store.Store, *service.Service) {
+		cold, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cold, service.NewWithConfig(service.Config{Capacity: 2, Store: cold})
+	}
+
+	// Generation 1: park a three-step chain (cap 2 forces demotion of the
+	// early links while the process is still alive).
+	cold1, svc1 := open()
+	out1 := session(t, svc1, "extend 0 1 2 0\nextend 1 -1 0\nextend 2 3 0\nstats\n")
+	if !strings.Contains(out1, "id=3 verdict=sat") {
+		t.Fatalf("generation 1 chain failed: %.300s", out1)
+	}
+	if !strings.Contains(out1, "spills=") || strings.Contains(out1, "spills=0 ") {
+		t.Fatalf("no demotion under cap 2: %.300s", out1)
+	}
+	svc1.Close() // the solversvc shutdown path: demote all, then close store
+	if live := svc1.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked at generation-1 shutdown", live)
+	}
+	if err := cold1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: same directory, fresh process state. Old ids 1..3
+	// must answer; the recovered chain must extend with the right verdict
+	// (id 2 asserted -1, so forcing 1 must go unsat), and fresh ids must
+	// not collide with recovered ones.
+	cold2, svc2 := open()
+	defer cold2.Close()
+	out2 := session(t, svc2, "touch 3\nextend 2 1 0\nextend 3 4 0\n")
+	lines := strings.Split(strings.TrimSpace(out2), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("generation 2 output: %q", out2)
+	}
+	if lines[0] != "ok" {
+		t.Errorf("touch of recovered id: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "verdict=unsat") {
+		t.Errorf("recovered id 2 lost its -1 assertion: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "verdict=sat") || strings.Contains(lines[2], "id=1 ") ||
+		strings.Contains(lines[2], "id=2 ") || strings.Contains(lines[2], "id=3 ") {
+		t.Errorf("fresh id collides or wrong verdict: %q", lines[2])
+	}
+	svc2.Close()
+	if live := svc2.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked at generation-2 shutdown", live)
+	}
+
+	// Contrast: a storeless restart forgets everything.
+	bare := service.New()
+	defer bare.Close()
+	out3 := session(t, bare, "touch 3\n")
+	if !strings.Contains(out3, "unknown") {
+		t.Errorf("storeless service answered a forgotten id: %q", out3)
 	}
 }

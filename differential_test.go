@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro"
+)
+
+// diffCSP is one seeded random finite-domain constraint problem: nVars
+// variables over domain [0,domain), constrained by randomly drawn
+// forbidden (var_i=a, var_j=b) pairs. The instance is fixed before the
+// engines run, so every strategy explores the same search space.
+type diffCSP struct {
+	nVars, domain int
+	// forbidden[i][j*domain*domain + a*domain + b] for j<i: assignment
+	// (j=b, i=a) is disallowed. Flat and immutable: read-only host data
+	// shared by all workers.
+	forbidden map[uint64]bool
+}
+
+func newDiffCSP(nVars, domain int, density float64, seed int64) *diffCSP {
+	rng := rand.New(rand.NewSource(seed))
+	p := &diffCSP{nVars: nVars, domain: domain, forbidden: make(map[uint64]bool)}
+	for i := 1; i < nVars; i++ {
+		for j := 0; j < i; j++ {
+			for a := 0; a < domain; a++ {
+				for b := 0; b < domain; b++ {
+					if rng.Float64() < density {
+						p.forbidden[p.key(i, a, j, b)] = true
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+func (p *diffCSP) key(i, a, j, b int) uint64 {
+	return uint64(((i*p.nVars+j)*p.domain+a)*p.domain + b)
+}
+
+// hosted state layout: [pos][assignment x nVars] as u64 words.
+func (p *diffCSP) step(env *repro.Env) error {
+	m := env.Mem()
+	base := repro.HostedHeapBase
+	pos, err := m.ReadU64(base)
+	if err != nil {
+		return err
+	}
+	if pos == 0 {
+		if err := m.WriteU64(base, 1); err != nil {
+			return err
+		}
+		env.Guess(uint64(p.domain))
+		return nil
+	}
+	i := int(pos) - 1
+	a := int(env.Choice())
+	for j := 0; j < i; j++ {
+		b, err := m.ReadU64(base + 8 + uint64(j)*8)
+		if err != nil {
+			return err
+		}
+		if p.forbidden[p.key(i, a, j, int(b))] {
+			env.Fail()
+			return nil
+		}
+	}
+	if err := m.WriteU64(base+8+uint64(i)*8, uint64(a)); err != nil {
+		return err
+	}
+	if int(pos) == p.nVars {
+		// Leaf: encode the full assignment as a base-domain integer.
+		id := uint64(0)
+		for j := 0; j < p.nVars; j++ {
+			v, err := m.ReadU64(base + 8 + uint64(j)*8)
+			if err != nil {
+				return err
+			}
+			id = id*uint64(p.domain) + v
+		}
+		env.Exit(id)
+		return nil
+	}
+	if err := m.WriteU64(base, pos+1); err != nil {
+		return err
+	}
+	env.Guess(uint64(p.domain))
+	return nil
+}
+
+// solve runs the CSP under one engine configuration and returns the
+// sorted solution set.
+func (p *diffCSP) solve(t *testing.T, opts ...repro.Option) []uint64 {
+	t.Helper()
+	alloc := repro.NewFrameAllocator(0)
+	root, err := repro.NewHostedContext(alloc, uint64(8*(p.nVars+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(repro.NewHostedMachine(p.step), opts...)
+	res, err := eng.Run(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tree().Live() != 0 || alloc.Live() != 0 {
+		t.Fatalf("leak: %d snapshots, %d frames", eng.Tree().Live(), alloc.Live())
+	}
+	ids := make([]uint64, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		ids = append(ids, s.Status)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// TestDifferentialStrategies explores one seeded random finite-domain
+// problem under every strategy × worker-count × scheduler combination:
+// DFS/BFS/Random × Workers∈{1,4} × steal/NoSteal. The solution sets must
+// be identical — a divergence means a scheduler or policy bug (lost
+// frame, double pop, mis-ordered release), not a legitimate result.
+// Runs under -race in CI, where the 4-worker rows double as a data-race
+// probe over the shared read-only problem and the per-path CoW state.
+func TestDifferentialStrategies(t *testing.T) {
+	// ~6^5 raw leaves pruned by ~35%-dense binary constraints: a few
+	// dozen surviving solutions, enough structure for strategies to visit
+	// states in very different orders.
+	p := newDiffCSP(5, 6, 0.35, 20260726)
+
+	want := p.solve(t, repro.WithStrategy(repro.DFS()), repro.WithWorkers(1))
+	if len(want) == 0 {
+		t.Fatal("seeded instance has no solutions; differential run is vacuous")
+	}
+	t.Logf("reference solution set: %d solutions", len(want))
+
+	strategies := []struct {
+		name string
+		mk   func() repro.Strategy
+	}{
+		{"dfs", repro.DFS},
+		{"bfs", repro.BFS},
+		{"random", func() repro.Strategy { return repro.Random(7) }},
+	}
+	for _, st := range strategies {
+		for _, workers := range []int{1, 4} {
+			for _, noSteal := range []bool{false, true} {
+				name := fmt.Sprintf("%s/w%d/nosteal=%v", st.name, workers, noSteal)
+				t.Run(name, func(t *testing.T) {
+					opts := []repro.Option{
+						repro.WithStrategy(st.mk()),
+						repro.WithWorkers(workers),
+						repro.WithRandomSeed(99),
+					}
+					if noSteal {
+						opts = append(opts, repro.WithNoSteal())
+					}
+					got := p.solve(t, opts...)
+					if !slices.Equal(got, want) {
+						t.Errorf("solution set diverged: %d solutions vs %d reference", len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package bench implements the reproduction's experiment harness: one
-// function per experiment in DESIGN.md's index (E1–E13), each returning a
+// function per experiment in DESIGN.md's index (E1–E14), each returning a
 // rendered table with the same rows the paper's claims are judged against.
 // cmd/snapbench and the root benchmark suite both drive these.
 package bench
@@ -48,6 +48,7 @@ func All() []Experiment {
 		{11, "tlb-write-locality", "§4: software TLB makes the hot write path O(1), not O(radix)", E11},
 		{12, "work-stealing", "Fig.2: sharded scheduler scales extension evaluation across cores", E12},
 		{13, "concurrent-service", "§3.2: concurrent clients branch one shared base; the sharded table keeps solves off-lock and the cap bounds parked state", E13},
+		{14, "persistent-store", "§3.2 scaled out: eviction becomes demotion to a content-addressed disk tier; spilled ids reload transparently, siblings dedup on disk, and a restarted server answers old ids", E14},
 	}
 }
 

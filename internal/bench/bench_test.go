@@ -78,6 +78,22 @@ func BenchmarkE13Quick(b *testing.B) {
 	}
 }
 
+// BenchmarkE14Quick keeps the persistent-store experiment wired into
+// `go test -bench` (and the CI one-iteration smoke): every iteration
+// re-verifies verdict identity for demoted and restart-recovered ids, the
+// ≥0.85 on-disk dedup floor, and the zero-leak teardown.
+func BenchmarkE14Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := E14(Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("E14 produced no rows")
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	e, err := ByID(4)
 	if err != nil || e.ID != 4 {

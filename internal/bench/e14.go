@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/solver"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// scratchDir allocates a throwaway store directory for one E14 phase.
+func scratchDir(name string) (string, error) {
+	return os.MkdirTemp("", "snapbench-"+name+"-")
+}
+
+// E14 measures the persistent snapshot store as the service's demotion
+// tier, at a deliberately tiny hot capacity (16 parked references) so the
+// cold tier carries the working set:
+//
+//   - chains: the E13 chain workload, plus a revisit pass over long-cold
+//     mid-chain ids. Every verdict must match a serial unbounded run, and
+//     no id may answer ErrEvicted — eviction is demotion, not loss.
+//   - siblings: a wide sibling set off one pinned base, then a full
+//     demote (Close). Content-addressed chunking must dedup ≥ 0.85 of the
+//     on-disk references — the cold twin of E13's in-memory SharedRatio.
+//   - restart: the chain store is closed and reopened from disk (manifest
+//     log replay); a fresh service must answer the old leaf ids with
+//     verdicts identical to the pre-restart ground truth.
+//
+// Every phase also asserts the zero-leak teardown (LiveSnapshots == 0).
+func E14(o Options) (*trace.Table, error) {
+	clients, steps := 8, 12
+	chainVars, chainClauses := 150, 560
+	// The sibling base is deliberately large and under-constrained
+	// (ratio 3.0): production-shaped parked state is tens of KiB, and an
+	// easy base keeps per-sibling learned clauses — private bytes by
+	// construction — from eroding the shared prefix.
+	sibVars, sibClauses, sibs := 900, 2700, 96
+	if o.Quick {
+		clients, steps = 4, 6
+		chainVars, chainClauses = 60, 200
+		sibVars, sibClauses, sibs = 600, 1800, 24
+	}
+	const hotCap = 16
+	stepClauses := 4
+
+	chainBase := solver.Random3SAT(chainVars, chainClauses, 7)
+	chainBatch := func(c, k int) [][]int {
+		return solver.Random3SAT(chainVars, stepClauses, int64(1009+257*c+k))
+	}
+	revisitBatch := func(c int) [][]int {
+		return solver.Random3SAT(chainVars, stepClauses, int64(5003+31*c))
+	}
+	restartBatch := func(c int) [][]int {
+		return solver.Random3SAT(chainVars, stepClauses, int64(9001+17*c))
+	}
+
+	t := &trace.Table{
+		Title: fmt.Sprintf("E14: persistent spill tier (cap=%d; %d clients × %d steps; %d siblings of %dv/%dc base; GOMAXPROCS=%d)",
+			hotCap, clients, steps, sibs, sibVars, sibClauses, runtime.GOMAXPROCS(0)),
+		Columns: []string{"phase", "extends", "time", "ext/s", "spills", "reloads", "dedup", "cold-KiB"},
+		Note:    "all verdicts identical to serial ground truth; zero ErrEvicted; zero live snapshots after every teardown",
+	}
+
+	// ---- Serial ground truth (unbounded, storeless). -------------------
+	type chainRef struct {
+		verdicts []solver.Status
+		revisit  solver.Status
+		restart  solver.Status
+	}
+	serial := make([]chainRef, clients)
+	{
+		svc := service.New()
+		base, err := svc.Extend(context.Background(), 0, chainBase)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < clients; c++ {
+			prev, mid := base.ID, base.ID
+			for k := 0; k < steps; k++ {
+				r, err := svc.Extend(context.Background(), prev, chainBatch(c, k))
+				if err != nil {
+					return nil, fmt.Errorf("E14 serial: client %d step %d: %w", c, k, err)
+				}
+				serial[c].verdicts = append(serial[c].verdicts, r.Verdict)
+				prev = r.ID
+				if k == steps/2 {
+					mid = r.ID
+				}
+			}
+			rv, err := svc.Extend(context.Background(), mid, revisitBatch(c))
+			if err != nil {
+				return nil, fmt.Errorf("E14 serial revisit %d: %w", c, err)
+			}
+			serial[c].revisit = rv.Verdict
+			rs, err := svc.Extend(context.Background(), prev, restartBatch(c))
+			if err != nil {
+				return nil, fmt.Errorf("E14 serial restart-ref %d: %w", c, err)
+			}
+			serial[c].restart = rs.Verdict
+		}
+		svc.Close()
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E14: %d snapshots leaked after serial run", live)
+		}
+	}
+
+	addRow := func(phase string, extends int, dur time.Duration, st service.Stats) {
+		t.AddRow(phase, extends, dur,
+			fmt.Sprintf("%.0f", float64(extends)/dur.Seconds()),
+			st.Spills, st.Reloads,
+			fmt.Sprintf("%.2f", st.ColdSharedRatio),
+			st.ColdBytes>>10)
+	}
+
+	// ---- Phase 1: chains under cap 16 with demotion. -------------------
+	chainDir, err := scratchDir("e14-chains")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(chainDir)
+	leafIDs := make([]uint64, clients)
+	{
+		cold, err := store.Open(chainDir)
+		if err != nil {
+			return nil, err
+		}
+		svc := service.NewWithConfig(service.Config{Capacity: hotCap, Store: cold})
+		base, err := svc.Extend(context.Background(), 0, chainBase)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Pin(base.ID); err != nil {
+			return nil, err
+		}
+		midIDs := make([]uint64, clients)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				prev, mid := base.ID, base.ID
+				for k := 0; k < steps; k++ {
+					r, err := svc.Extend(context.Background(), prev, chainBatch(c, k))
+					if err != nil {
+						errs[c] = fmt.Errorf("client %d step %d: %w", c, k, err)
+						return
+					}
+					if r.Verdict != serial[c].verdicts[k] {
+						errs[c] = fmt.Errorf("client %d step %d verdict %v != serial %v", c, k, r.Verdict, serial[c].verdicts[k])
+						return
+					}
+					prev = r.ID
+					if k == steps/2 {
+						mid = r.ID
+					}
+				}
+				leafIDs[c], midIDs[c] = prev, mid
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E14 chains: %w", err)
+			}
+		}
+		// Revisit pass: the mid-chain ids have long been demoted (cap 16
+		// against clients×steps parked refs); extending them must promote
+		// transparently — zero ErrEvicted with a store attached.
+		for c := 0; c < clients; c++ {
+			r, err := svc.Extend(context.Background(), midIDs[c], revisitBatch(c))
+			if err != nil {
+				return nil, fmt.Errorf("E14 revisit of demoted id %d: %w", midIDs[c], err)
+			}
+			if r.Verdict != serial[c].revisit {
+				return nil, fmt.Errorf("E14 revisit %d: verdict %v != serial %v", c, r.Verdict, serial[c].revisit)
+			}
+		}
+		dur := time.Since(start)
+		st := svc.Stats()
+		if st.Spills == 0 {
+			return nil, fmt.Errorf("E14 chains: no demotions at cap %d with %d parks", hotCap, clients*steps)
+		}
+		if st.Reloads == 0 {
+			return nil, fmt.Errorf("E14 chains: revisits promoted nothing")
+		}
+		extends := clients*steps + clients
+		svc.Close() // demotes every live reference for the restart phase
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E14 chains: %d snapshots leaked", live)
+		}
+		if err := cold.Close(); err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("chains C=%d", clients), extends, dur, st)
+	}
+
+	// ---- Phase 2: sibling set, full demote, on-disk dedup. -------------
+	{
+		sibDir, err := scratchDir("e14-siblings")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(sibDir)
+		cold, err := store.Open(sibDir)
+		if err != nil {
+			return nil, err
+		}
+		defer cold.Close()
+		svc := service.NewWithConfig(service.Config{Capacity: hotCap, Store: cold})
+		sibBase := solver.Random3SAT(sibVars, sibClauses, 11)
+		base, err := svc.Extend(context.Background(), 0, sibBase)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Pin(base.ID); err != nil {
+			return nil, err
+		}
+		// Serial sibling ground truth on the side (same service shape as
+		// the E13 eviction row, so one unbounded reference service).
+		ref := service.New()
+		rbase, err := ref.Extend(context.Background(), 0, sibBase)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < sibs; i++ {
+			batch := solver.Random3SAT(sibVars, 3, int64(7777+i))
+			want, err := ref.Extend(context.Background(), rbase.ID, batch)
+			if err != nil {
+				return nil, fmt.Errorf("E14 sibling ref %d: %w", i, err)
+			}
+			got, err := svc.Extend(context.Background(), base.ID, batch)
+			if err != nil {
+				return nil, fmt.Errorf("E14 sibling %d: %w", i, err)
+			}
+			if got.Verdict != want.Verdict {
+				return nil, fmt.Errorf("E14 sibling %d: verdict %v != serial %v", i, got.Verdict, want.Verdict)
+			}
+		}
+		dur := time.Since(start)
+		ref.Close()
+		svc.Close() // demote the full sibling set
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E14 siblings: %d snapshots leaked", live)
+		}
+		cs := cold.Stats()
+		st := svc.Stats()
+		if cs.Manifests < sibs {
+			return nil, fmt.Errorf("E14 siblings: only %d of %d+1 states demoted", cs.Manifests, sibs)
+		}
+		if cs.DedupRatio() < 0.85 {
+			return nil, fmt.Errorf("E14 siblings: on-disk chunk dedup %.3f < 0.85 (unique %d KiB of %d KiB referenced)",
+				cs.DedupRatio(), cs.UniqueBytes>>10, cs.LogicalBytes>>10)
+		}
+		addRow(fmt.Sprintf("siblings n=%d", sibs), sibs, dur, st)
+	}
+
+	// ---- Phase 3: restart — reopen the chain store from disk. ----------
+	{
+		cold, err := store.Open(chainDir)
+		if err != nil {
+			return nil, fmt.Errorf("E14 restart: reopen: %w", err)
+		}
+		defer cold.Close()
+		svc := service.NewWithConfig(service.Config{Capacity: hotCap, Store: cold})
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			r, err := svc.Extend(context.Background(), leafIDs[c], restartBatch(c))
+			if err != nil {
+				return nil, fmt.Errorf("E14 restart: leaf %d: %w", leafIDs[c], err)
+			}
+			if r.Verdict != serial[c].restart {
+				return nil, fmt.Errorf("E14 restart: client %d verdict %v != serial %v", c, r.Verdict, serial[c].restart)
+			}
+		}
+		dur := time.Since(start)
+		st := svc.Stats()
+		if st.Reloads == 0 {
+			return nil, fmt.Errorf("E14 restart: nothing reloaded from the replayed store")
+		}
+		svc.Close()
+		if live := svc.LiveSnapshots(); live != 0 {
+			return nil, fmt.Errorf("E14 restart: %d snapshots leaked", live)
+		}
+		addRow("restart", clients, dur, st)
+	}
+	return t, nil
+}

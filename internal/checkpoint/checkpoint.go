@@ -141,14 +141,36 @@ func (inc *Incremental) Capture(as *mem.AddressSpace) *Image {
 	return img
 }
 
-// Layers returns the captured deltas in order.
+// Layers returns the captured deltas in order. Entries freed by
+// ReleaseLayer are nil.
 func (inc *Incremental) Layers() []*Image { return inc.layers }
 
+// ReleaseLayer frees the page payload of one captured delta — memory
+// reclamation for a series whose early deltas have been shipped or
+// superseded. The chain is left with a hole: Restore refuses to run until
+// the series is re-captured from scratch, because replaying around a
+// missing delta would silently rebuild an image with stale (or zero)
+// pages where the released layer's writes belonged.
+func (inc *Incremental) ReleaseLayer(i int) error {
+	if i < 0 || i >= len(inc.layers) {
+		return fmt.Errorf("checkpoint: no layer %d (have %d)", i, len(inc.layers))
+	}
+	inc.layers[i] = nil
+	return nil
+}
+
 // Restore rebuilds the state as of the latest capture by replaying every
-// layer in order.
+// layer in order. A chain holed by ReleaseLayer errors instead of
+// restoring: every layer's pages are needed, since a page written in
+// layer k and untouched afterwards exists nowhere else.
 func (inc *Incremental) Restore(alloc *mem.FrameAllocator) (*mem.AddressSpace, error) {
 	if len(inc.layers) == 0 {
 		return nil, fmt.Errorf("checkpoint: no layers")
+	}
+	for i, layer := range inc.layers {
+		if layer == nil {
+			return nil, fmt.Errorf("checkpoint: layer %d of %d released; image incomplete", i, len(inc.layers))
+		}
 	}
 	latest := inc.layers[len(inc.layers)-1]
 	as := mem.NewAddressSpace(alloc)

@@ -153,3 +153,40 @@ func TestRestorePreservesBrk(t *testing.T) {
 		t.Errorf("restored brk = %#x", b)
 	}
 }
+
+// TestRestoreAfterMidChainReleaseErrors is the regression test for the
+// hole-punched-image bug: releasing a mid-chain delta and then restoring
+// must error cleanly — the released layer's pages exist nowhere else, so
+// a "successful" restore would silently contain stale data.
+func TestRestoreAfterMidChainReleaseErrors(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	as := buildSpace(t, alloc, 6)
+	defer as.Release()
+	inc := NewIncremental()
+	defer inc.Release()
+
+	inc.Capture(as)
+	// Layer 1 carries page 0's only copy of value 200.
+	as.WriteU64(0x10000, 200)
+	inc.Capture(as)
+	// Layer 2 touches a different page, so layer 1 stays load-bearing.
+	as.WriteU64(0x10000+mem.PageSize, 300)
+	inc.Capture(as)
+
+	if err := inc.ReleaseLayer(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Restore(alloc); err == nil {
+		t.Fatal("Restore over a released mid-chain layer succeeded; want error")
+	}
+	if got := inc.Layers()[1]; got != nil {
+		t.Errorf("released layer still present: %v", got)
+	}
+	// Out-of-range release is rejected.
+	if err := inc.ReleaseLayer(7); err == nil {
+		t.Error("ReleaseLayer(7) accepted")
+	}
+	if err := inc.ReleaseLayer(-1); err == nil {
+		t.Error("ReleaseLayer(-1) accepted")
+	}
+}

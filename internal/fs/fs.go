@@ -9,6 +9,8 @@ package fs
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"path"
@@ -460,6 +462,14 @@ func (s *FS) OpenFDs() int {
 	return n
 }
 
+// SetFDs replaces the descriptor table wholesale (index 0 ↔ fd 3) — the
+// reload path of the persistence tier, which rebuilds a view file by file
+// and then restores the open-descriptor state the manifest recorded.
+func (s *FS) SetFDs(fds []FD) {
+	s.fds = make([]FD, len(fds))
+	copy(s.fds, fds)
+}
+
 // Release drops this view's references. The view must not be used after.
 func (s *FS) Release() {
 	for _, f := range s.inodes {
@@ -532,6 +542,88 @@ func (sn *Snapshot) Footprint() (privateBytes, sharedBytes int64) {
 		}
 	}
 	return privateBytes, sharedBytes
+}
+
+// FDs returns a copy of the frozen descriptor table (index 0 ↔ fd 3).
+// The persistence tier serializes it so a reloaded candidate resumes with
+// the same open files and offsets.
+func (sn *Snapshot) FDs() []FD {
+	out := make([]FD, len(sn.fds))
+	copy(out, sn.fds)
+	return out
+}
+
+// FileImage is one file of an exported frozen image: its logical size and
+// its resident blocks in index order (nil = hole, reads as zeroes). Block
+// contents are the snapshot's own backing arrays — callers must treat them
+// as read-only and must not hold them past the snapshot's Release.
+type FileImage struct {
+	Path   string
+	Size   int64
+	Blocks []*[BlockSize]byte
+}
+
+// Export walks the frozen image in path order — the block-level view the
+// persistence tier chunks and content-hashes when a snapshot is demoted to
+// disk. O(#files + #blocks) pointer work; no content is copied.
+func (sn *Snapshot) Export() []FileImage {
+	out := make([]FileImage, 0, len(sn.inodes))
+	for _, p := range sn.Files() {
+		f := sn.inodes[p]
+		img := FileImage{Path: p, Size: f.size, Blocks: make([]*[BlockSize]byte, len(f.blocks))}
+		for i, b := range f.blocks {
+			if b != nil {
+				img.Blocks[i] = &b.data
+			}
+		}
+		out = append(out, img)
+	}
+	return out
+}
+
+// ContentHash returns a stable SHA-256 over the frozen image's logical
+// content: paths, sizes, block residency and bytes, and the descriptor
+// table. Two snapshots hash equal iff a guest could not tell them apart
+// through the file API — the identity the persistence tier records as a
+// manifest's parent hash and verifies after a reload round-trip.
+func (sn *Snapshot) ContentHash() [32]byte {
+	h := sha256.New()
+	var word [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	for _, p := range sn.Files() {
+		f := sn.inodes[p]
+		putU64(uint64(len(p)))
+		io.WriteString(h, p)
+		putU64(uint64(f.size))
+		for i, b := range f.blocks {
+			// Only bytes within the logical size are observable; the last
+			// block's tail past f.size is zeroed by truncate, so hashing
+			// full resident blocks stays content-stable.
+			if b == nil {
+				continue
+			}
+			putU64(uint64(i))
+			h.Write(b.data[:])
+		}
+	}
+	putU64(uint64(len(sn.fds)))
+	for _, fd := range sn.fds {
+		putU64(uint64(len(fd.Path)))
+		io.WriteString(h, fd.Path)
+		putU64(uint64(fd.Off))
+		putU64(uint64(fd.Flags))
+		open := uint64(0)
+		if fd.Open {
+			open = 1
+		}
+		putU64(open)
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
 }
 
 // Files returns the sorted list of paths in the frozen image.

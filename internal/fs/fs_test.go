@@ -331,3 +331,86 @@ func TestWriteFileBound(t *testing.T) {
 		t.Errorf("small WriteFile = %v", err)
 	}
 }
+
+// TestSnapshotExportAndFDs covers the persistence tier's view of a frozen
+// image: per-file block export (holes included) and the descriptor table.
+func TestSnapshotExportAndFDs(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("/a", bytes.Repeat([]byte{1}, BlockSize+10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := v.Open("/a", ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Seek(fd, 5, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	sn := v.Snapshot()
+	defer sn.Release()
+	defer v.Release()
+
+	imgs := sn.Export()
+	if len(imgs) != 2 || imgs[0].Path != "/a" || imgs[1].Path != "/empty" {
+		t.Fatalf("export = %+v", imgs)
+	}
+	a := imgs[0]
+	if a.Size != BlockSize+10 || len(a.Blocks) != 2 || a.Blocks[0] == nil || a.Blocks[1] == nil {
+		t.Fatalf("/a image: size=%d blocks=%d", a.Size, len(a.Blocks))
+	}
+	if a.Blocks[0][0] != 1 || a.Blocks[1][9] != 1 || a.Blocks[1][10] != 0 {
+		t.Error("/a block content wrong")
+	}
+	if e := imgs[1]; e.Size != 0 || len(e.Blocks) != 0 {
+		t.Fatalf("/empty image: %+v", e)
+	}
+	fds := sn.FDs()
+	if len(fds) != 1 || fds[0].Path != "/a" || fds[0].Off != 5 || !fds[0].Open {
+		t.Fatalf("fds = %+v", fds)
+	}
+
+	// SetFDs rebuilds an equivalent descriptor table on a fresh view.
+	re := New()
+	if err := re.WriteFile("/a", bytes.Repeat([]byte{1}, BlockSize+10)); err != nil {
+		t.Fatal(err)
+	}
+	re.SetFDs(fds)
+	defer re.Release()
+	if n, err := re.Seek(3, 0, SeekCur); err != nil || n != 5 {
+		t.Errorf("restored fd offset = %d, %v", n, err)
+	}
+}
+
+// TestSnapshotContentHash: equal logical content hashes equal; any
+// observable difference — bytes, size, fd state — changes the hash.
+func TestSnapshotContentHash(t *testing.T) {
+	build := func(mutate func(*FS)) [32]byte {
+		v := New()
+		defer v.Release()
+		if err := v.WriteFile("/f", []byte("hello world")); err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(v)
+		}
+		sn := v.Snapshot()
+		defer sn.Release()
+		return sn.ContentHash()
+	}
+	base := build(nil)
+	if again := build(nil); again != base {
+		t.Error("identical images hash differently")
+	}
+	if got := build(func(v *FS) { v.WriteFile("/f", []byte("hello worlD")) }); got == base {
+		t.Error("content change not reflected in hash")
+	}
+	if got := build(func(v *FS) { v.WriteFile("/g", nil) }); got == base {
+		t.Error("extra file not reflected in hash")
+	}
+	if got := build(func(v *FS) { v.Open("/f", ORdOnly) }); got == base {
+		t.Error("descriptor table not reflected in hash")
+	}
+}

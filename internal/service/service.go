@@ -10,10 +10,14 @@
 // different references never contend: a lookup touches one shard, the
 // solve and capture run entirely off-lock, and the park touches one shard
 // again. Capacity is bounded — beyond Config.Capacity parked (unpinned)
-// references, the least-recently-used one is evicted and its snapshot
-// released. Evicted ids answer with ErrEvicted (distinct from an unknown
-// reference); pinned references and the permanent root (id 0) are never
-// evicted.
+// references, the least-recently-used one is evicted. Without a
+// persistence tier its snapshot is released and the id answers
+// ErrEvicted (distinct from an unknown reference); with Config.Store
+// attached, eviction becomes demotion — the victim spills to the
+// content-addressed store and a later Extend/Pin/Touch on its id
+// transparently promotes it back, so capacity bounds hot memory, not the
+// number of problems the service can hold. Pinned references and the
+// permanent root (id 0) are never evicted.
 package service
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/snapshot"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // Errors distinguishable by clients (wrapped with the offending id).
@@ -79,6 +84,15 @@ type Config struct {
 	// strict as long as Capacity is at least the number of concurrent
 	// Extends (reservation happens before insertion).
 	Capacity int
+	// Store attaches a persistence tier. With a store, capacity eviction
+	// becomes demotion: the LRU victim is spilled to disk instead of
+	// dropped, and Extend/Pin/Touch on a spilled id transparently reload
+	// it (promote-on-access). A service opened over a store that already
+	// holds manifests — a restarted server — answers those parked ids the
+	// same way. The service does not close the store; the owner does,
+	// after Service.Close (which demotes every live reference except the
+	// reconstructible root).
+	Store *store.Store
 }
 
 // Result reports one Extend call.
@@ -114,6 +128,23 @@ type Stats struct {
 	// siblings of one base problem costing a fraction of full copies.
 	PrivateBytes int64
 	SharedBytes  int64
+	// Spills counts demotions to the persistence tier (capacity evictions
+	// and Close-time demotes that left a cold copy behind).
+	Spills uint64
+	// SpillFailures counts demotions the store refused (disk full, I/O
+	// error): those references degraded to plain evictions — dropped at
+	// runtime (ErrEvicted) or lost at Close — so a nonzero value means
+	// the cold tier is not capturing everything.
+	SpillFailures uint64
+	// Reloads counts promote-on-access loads of a spilled reference.
+	Reloads uint64
+	// ColdBytes is the persistence tier's physical chunk footprint on
+	// disk (zero without a store).
+	ColdBytes int64
+	// ColdSharedRatio is the fraction of cold chunk references that dedup
+	// onto chunks shared with other demoted snapshots — the on-disk twin
+	// of SharedRatio.
+	ColdSharedRatio float64
 }
 
 // SharedRatio is the fraction of parked pages shared between snapshots.
@@ -132,6 +163,12 @@ type entry struct {
 	state   *snapshot.State
 	pinned  bool
 	lastUse uint64 // logical clock tick of the last lookup (LRU)
+	// demoting marks an entry whose spill to the persistence tier is in
+	// flight: it is out of the LRU list (so no second evictor picks it)
+	// but still in the table (so lookups keep answering). Exactly one
+	// evictor owns a demoting entry end to end; only a client Release
+	// can remove it from the table underneath that evictor.
+	demoting bool
 	// Intrusive per-shard LRU list links (unpinned entries only):
 	// the shard's lruHead is its least recently used entry, so finding
 	// an eviction victim is O(1) per shard instead of a map scan.
@@ -229,6 +266,17 @@ type Service struct {
 	extends   atomic.Uint64
 	evictions atomic.Uint64
 
+	// Persistence tier (nil = evictions drop state, the pre-store mode).
+	store      *store.Store
+	spills     atomic.Uint64
+	spillFails atomic.Uint64
+	reloads    atomic.Uint64
+	// reloadMu/reloading singleflight concurrent promote-on-access loads
+	// of the same spilled id: the first caller reloads, the rest wait —
+	// one disk walk, one Reloads increment, one table insert.
+	reloadMu  sync.Mutex
+	reloading map[uint64]*reloadCall
+
 	// closeMu serializes Close against the lookup/park critical sections.
 	// Extend holds it shared only around table touches — never across the
 	// solve — so Close cannot interleave with a park, and every in-flight
@@ -260,14 +308,21 @@ func NewWithConfig(cfg Config) *Service {
 		n = 1 << bits.Len(uint(n))
 	}
 	s := &Service{
-		shards:   make([]*shard, n),
-		mask:     uint64(n - 1),
-		tree:     snapshot.NewTree(),
-		alloc:    mem.NewFrameAllocator(0),
-		capacity: cfg.Capacity,
+		shards:    make([]*shard, n),
+		mask:      uint64(n - 1),
+		tree:      snapshot.NewTree(),
+		alloc:     mem.NewFrameAllocator(0),
+		capacity:  cfg.Capacity,
+		store:     cfg.Store,
+		reloading: make(map[uint64]*reloadCall),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{entries: make(map[uint64]*entry)}
+	}
+	if s.store != nil {
+		// Restart recovery: ids demoted by a previous process answer via
+		// promote-on-access; fresh ids must start above every one of them.
+		s.nextID.Store(s.store.MaxID())
 	}
 	// Root candidate: empty filesystem, empty solver. Pinned forever.
 	as := mem.NewAddressSpace(s.alloc)
@@ -281,33 +336,123 @@ func NewWithConfig(cfg Config) *Service {
 func (s *Service) shardFor(id uint64) *shard { return s.shards[id&s.mask] }
 
 // lookup retains the state behind id and bumps its LRU clock, and marks
-// one in-flight operation. On success the caller must Release the state
-// and call s.inflight.Done().
+// one in-flight operation. A spilled id is transparently promoted from
+// the persistence tier first. On success the caller must Release the
+// state and call s.inflight.Done().
 func (s *Service) lookup(id uint64) (*snapshot.State, error) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
+	for {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		e, ok := sh.entries[id]
+		if !ok {
+			// Probe the cold tier off-lock: Has can wait on a demotion's
+			// commit, and that wait must not stall the whole shard.
+			sh.mu.Unlock()
+			if s.store != nil && s.store.Has(id) {
+				if err := s.reload(id); err != nil {
+					return nil, err
+				}
+				continue // promoted (or raced back out: loop decides)
+			}
+			sh.mu.Lock()
+			err := sh.missing(id)
+			sh.mu.Unlock()
+			return nil, err
+		}
+		e.lastUse = s.clock.Add(1)
+		if !e.pinned && !e.demoting {
+			sh.lruTouch(e)
+		}
+		st := e.state.Retain()
+		sh.mu.Unlock()
+		// Ordering: Add happens while closeMu is held shared and after the
+		// closed check, so Close (exclusive lock, then Wait) cannot pass the
+		// Wait before this operation registers.
+		s.inflight.Add(1)
+		return st, nil
+	}
+}
+
+// reloadCall is one in-flight promote-on-access load, joined by every
+// concurrent request for the same spilled id.
+type reloadCall struct {
+	done chan struct{}
+	err  error
+}
+
+// reload promotes a spilled id back into the reference table exactly once
+// per demotion: concurrent callers coalesce onto a single load. Callers
+// hold closeMu shared.
+func (s *Service) reload(id uint64) error {
+	s.reloadMu.Lock()
+	if c, ok := s.reloading[id]; ok {
+		s.reloadMu.Unlock()
+		<-c.done
+		return c.err
+	}
+	c := &reloadCall{done: make(chan struct{})}
+	s.reloading[id] = c
+	s.reloadMu.Unlock()
+
+	c.err = s.doReload(id)
+
+	s.reloadMu.Lock()
+	delete(s.reloading, id)
+	s.reloadMu.Unlock()
+	close(c.done)
+	return c.err
+}
+
+// doReload materializes the demoted snapshot behind id and parks it as a
+// live unpinned entry, enforcing the capacity bound the same way park
+// does (reserve, then evict until the reservation fits — possibly
+// demoting a colder entry to make room for the promoted one).
+func (s *Service) doReload(id uint64) error {
+	ctx, depth, err := s.store.Load(id, s.alloc)
+	if err != nil {
+		return err
+	}
+	st := s.tree.CaptureAtDepth(ctx, nil, depth)
+	ctx.Release()
+
+	s.parked.Add(1)
+	if s.capacity > 0 {
+		for s.parked.Load() > int64(s.capacity) {
+			if !s.evictOne() {
+				break
+			}
+		}
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	e, ok := sh.entries[id]
-	if !ok {
-		err := sh.missing(id)
+	if _, exists := sh.entries[id]; exists {
+		// Already resident (a racing epoch promoted it); drop our copy.
 		sh.mu.Unlock()
-		return nil, err
+		s.parked.Add(-1)
+		st.Release()
+		return nil
 	}
-	e.lastUse = s.clock.Add(1)
-	if !e.pinned {
-		sh.lruTouch(e)
+	if !s.store.Has(id) {
+		// The manifest vanished while we were loading: a concurrent
+		// Release dropped the reference for good. Inserting now would
+		// resurrect a released id, so abort instead. (Release mutates
+		// the store under this shard's lock, so the check is ordered.)
+		sh.mu.Unlock()
+		s.parked.Add(-1)
+		st.Release()
+		return fmt.Errorf("service: %w %d", ErrUnknownRef, id)
 	}
-	st := e.state.Retain()
+	e := &entry{id: id, state: st, lastUse: s.clock.Add(1)}
+	sh.entries[id] = e
+	sh.lruPushBack(e)
 	sh.mu.Unlock()
-	// Ordering: Add happens while closeMu is held shared and after the
-	// closed check, so Close (exclusive lock, then Wait) cannot pass the
-	// Wait before this operation registers.
-	s.inflight.Add(1)
-	return st, nil
+	s.reloads.Add(1)
+	return nil
 }
 
 // park inserts child behind a fresh id, enforcing the capacity bound by
@@ -373,13 +518,87 @@ func (s *Service) evictOne() bool {
 		victimShard.mu.Unlock()
 		return true
 	}
+	if s.store == nil {
+		victimShard.lruRemove(e)
+		delete(victimShard.entries, victimID)
+		victimShard.tombstone(victimID)
+		victimShard.mu.Unlock()
+		s.parked.Add(-1)
+		s.evictions.Add(1)
+		e.state.Release()
+		return true
+	}
+	// Demotion: claim the victim by pulling it off the LRU list and
+	// marking it demoting — concurrent evictors then pick other victims,
+	// and this evictor owns the entry's fate. The cold copy is written
+	// off-lock while the entry stays visible (a concurrent lookup still
+	// answers), then the entry is re-checked and unlinked. Spilling an id
+	// already resident in the store — a promoted entry being re-demoted —
+	// is a free no-op on the store side.
 	victimShard.lruRemove(e)
+	e.demoting = true
+	st := e.state.Retain()
+	victimShard.mu.Unlock()
+	spillErr := s.store.Spill(victimID, st)
+	victimShard.mu.Lock()
+	e2, ok := victimShard.entries[victimID]
+	switch {
+	case !ok:
+		// Only a client Release removes a demoting entry: the reference
+		// was dropped on purpose, so the cold copy just written must not
+		// resurrect it — Release's own purge may have run before the
+		// spill landed. The Delete happens under the shard lock so it
+		// orders against any in-flight promote of the same id.
+		s.store.Delete(victimID)
+		victimShard.mu.Unlock()
+		st.Release()
+		return true
+	case e2 != e:
+		// Release dropped the entry AND a promote raced the manifest back
+		// in before this re-check (Release → spill lands → reload). The
+		// resurrected entry is a released id: purge it from both tiers
+		// (no tombstone — a released id answers ErrUnknownRef, not
+		// ErrEvicted).
+		victimShard.lruRemove(e2)
+		delete(victimShard.entries, victimID)
+		s.store.Delete(victimID)
+		wasPinned := e2.pinned
+		victimShard.mu.Unlock()
+		if wasPinned {
+			s.pinned.Add(-1)
+		} else {
+			s.parked.Add(-1)
+		}
+		e2.state.Release()
+		st.Release()
+		return true
+	case e.pinned:
+		// Raced with Pin: the entry stays live (Pin already moved the
+		// parked count); the cold copy is harmless — immutable, purged on
+		// Release — and makes the next demotion free.
+		e.demoting = false
+		victimShard.mu.Unlock()
+		st.Release()
+		return true
+	}
 	delete(victimShard.entries, victimID)
-	victimShard.tombstone(victimID)
+	e.demoting = false
+	if spillErr != nil {
+		// The cold tier refused (disk full, I/O error): fall back to a
+		// plain eviction so the capacity bound still holds — the id then
+		// answers ErrEvicted like the storeless mode.
+		victimShard.tombstone(victimID)
+	}
 	victimShard.mu.Unlock()
 	s.parked.Add(-1)
 	s.evictions.Add(1)
+	if spillErr == nil {
+		s.spills.Add(1)
+	} else {
+		s.spillFails.Add(1)
+	}
 	e.state.Release()
+	st.Release()
 	return true
 }
 
@@ -466,8 +685,10 @@ func (s *Service) Extend(ctx context.Context, id uint64, clauses [][]int) (Resul
 	return res, nil
 }
 
-// Release drops a problem reference. The root (id 0) is permanent and
-// cannot be released.
+// Release drops a problem reference — the live entry, and the cold copy
+// if the persistence tier holds one (a spilled id is released without
+// being promoted first). The root (id 0) is permanent and cannot be
+// released.
 func (s *Service) Release(id uint64) error {
 	if id == 0 {
 		return ErrRootPermanent
@@ -481,12 +702,29 @@ func (s *Service) Release(id uint64) error {
 	sh.mu.Lock()
 	e, ok := sh.entries[id]
 	if !ok {
+		if s.store != nil && s.store.Has(id) {
+			// Purge under the shard lock: a concurrent promote of the
+			// same id inserts under this lock and re-checks the store,
+			// so the release and the promote serialize instead of
+			// resurrecting a released id.
+			err := s.store.Delete(id)
+			sh.mu.Unlock()
+			return err
+		}
 		err := sh.missing(id)
 		sh.mu.Unlock()
 		return err
 	}
 	sh.lruRemove(e)
 	delete(sh.entries, id)
+	var delErr error
+	if s.store != nil {
+		// A promoted or demoting entry may have a cold copy (possibly
+		// still landing — the owning evictor's post-spill re-check purges
+		// that case); delete under the shard lock for the same ordering
+		// reason as above.
+		delErr = s.store.Delete(id)
+	}
 	sh.mu.Unlock()
 	if e.pinned {
 		s.pinned.Add(-1)
@@ -494,58 +732,87 @@ func (s *Service) Release(id uint64) error {
 		s.parked.Add(-1)
 	}
 	e.state.Release()
-	return nil
+	return delErr
 }
 
 // Pin exempts a reference from capacity eviction (the root is always
-// pinned). Pinning is idempotent.
+// pinned). Pinning a spilled id promotes it first. Pinning is idempotent.
+// Pins are process-local leases: they are not persisted, so after a
+// restart every recovered reference starts unpinned.
 func (s *Service) Pin(id uint64) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e, ok := sh.entries[id]
-	if !ok {
-		return sh.missing(id)
+	for {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		e, ok := sh.entries[id]
+		if !ok {
+			sh.mu.Unlock()
+			if s.store != nil && s.store.Has(id) {
+				if err := s.reload(id); err != nil {
+					return err
+				}
+				continue
+			}
+			sh.mu.Lock()
+			err := sh.missing(id)
+			sh.mu.Unlock()
+			return err
+		}
+		if !e.pinned {
+			e.pinned = true
+			sh.lruRemove(e)
+			s.parked.Add(-1)
+			s.pinned.Add(1)
+		}
+		sh.mu.Unlock()
+		return nil
 	}
-	if !e.pinned {
-		e.pinned = true
-		sh.lruRemove(e)
-		s.parked.Add(-1)
-		s.pinned.Add(1)
-	}
-	return nil
 }
 
 // Touch bumps a reference's LRU clock without extending it — a client
-// keep-alive against capacity eviction, and a side-effect-free liveness
-// probe. Returns nil for a live reference, ErrEvicted or ErrUnknownRef
-// otherwise.
+// keep-alive against capacity eviction, and a liveness probe. Touching a
+// spilled id promotes it (the keep-alive would be meaningless cold).
+// Returns nil for a live or spilled reference, ErrEvicted or
+// ErrUnknownRef otherwise.
 func (s *Service) Touch(id uint64) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e, ok := sh.entries[id]
-	if !ok {
-		return sh.missing(id)
+	for {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		e, ok := sh.entries[id]
+		if !ok {
+			sh.mu.Unlock()
+			if s.store != nil && s.store.Has(id) {
+				if err := s.reload(id); err != nil {
+					return err
+				}
+				continue
+			}
+			sh.mu.Lock()
+			err := sh.missing(id)
+			sh.mu.Unlock()
+			return err
+		}
+		e.lastUse = s.clock.Add(1)
+		if !e.pinned && !e.demoting {
+			sh.lruTouch(e)
+		}
+		sh.mu.Unlock()
+		return nil
 	}
-	e.lastUse = s.clock.Add(1)
-	if !e.pinned {
-		sh.lruTouch(e)
-	}
-	return nil
 }
 
 // Unpin makes a reference evictable again. The root cannot be unpinned.
+// A spilled id is already unpinned (only unpinned entries demote), so
+// unpinning it is a successful no-op without a promote.
 func (s *Service) Unpin(id uint64) error {
 	if id == 0 {
 		return ErrRootPermanent
@@ -559,6 +826,10 @@ func (s *Service) Unpin(id uint64) error {
 	sh.mu.Lock()
 	e, ok := sh.entries[id]
 	if !ok {
+		if s.store != nil && s.store.Has(id) {
+			sh.mu.Unlock()
+			return nil
+		}
 		err := sh.missing(id)
 		sh.mu.Unlock()
 		return err
@@ -612,6 +883,14 @@ func (s *Service) Stats() Stats {
 		Extends:       s.extends.Load(),
 		Evictions:     s.evictions.Load(),
 		LiveSnapshots: s.tree.Live(),
+		Spills:        s.spills.Load(),
+		SpillFailures: s.spillFails.Load(),
+		Reloads:       s.reloads.Load(),
+	}
+	if s.store != nil {
+		cold := s.store.Stats()
+		st.ColdBytes = cold.ColdBytes
+		st.ColdSharedRatio = cold.DedupRatio()
 	}
 	var held []*snapshot.State
 	for _, sh := range s.shards {
@@ -638,8 +917,12 @@ func (s *Service) Stats() Stats {
 // Close shuts the service down gracefully: new Extends are refused with
 // ErrClosed; in-flight Extends drain first — one that finishes its solve
 // after Close began returns ErrClosed without parking a reference — and
-// then every parked reference is released. After Close returns,
-// LiveSnapshots reports 0. Close is idempotent.
+// then every parked reference is released. With a persistence tier
+// attached, every live reference except the root is demoted first (the
+// root is the reconstructible empty problem), so a successor service
+// opened over the same store answers every id this one held. After Close
+// returns, LiveSnapshots reports 0. Close is idempotent; the store is
+// left open for the owner to close.
 func (s *Service) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -653,6 +936,17 @@ func (s *Service) Close() {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for id, e := range sh.entries {
+			if s.store != nil && id != 0 {
+				if err := s.store.Spill(id, e.state); err == nil {
+					s.spills.Add(1)
+				} else {
+					// The reference is about to be released with no cold
+					// copy: count the loss so operators (solversvc warns
+					// at shutdown) know the successor will answer this id
+					// with ErrUnknownRef.
+					s.spillFails.Add(1)
+				}
+			}
 			e.state.Release()
 			delete(sh.entries, id)
 		}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/solver"
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEvictionDemotesInsteadOfDropping: with a store attached, the LRU
+// victim of a capacity eviction spills to disk and its id keeps working —
+// no ErrEvicted, one reload, identical verdict to the storeless world.
+func TestEvictionDemotesInsteadOfDropping(t *testing.T) {
+	cold := openStore(t, t.TempDir())
+	defer cold.Close()
+	svc := NewWithConfig(Config{Capacity: 1, Store: cold})
+	defer svc.Close()
+
+	r1, err := svc.Extend(context.Background(), 0, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parking a second reference demotes the first (capacity 1).
+	r2, err := svc.Extend(context.Background(), 0, [][]int{{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Spills == 0 || st.Evictions == 0 {
+		t.Fatalf("no demotion happened: %+v", st)
+	}
+	if !cold.Has(r1.ID) {
+		t.Fatalf("victim %d not in store", r1.ID)
+	}
+
+	// The demoted id transparently promotes on Extend — and must never
+	// answer ErrEvicted.
+	r3, err := svc.Extend(context.Background(), r1.ID, [][]int{{-1}})
+	if err != nil {
+		t.Fatalf("extend of demoted id: %v", err)
+	}
+	if r3.Verdict != solver.Sat {
+		t.Fatalf("verdict = %v", r3.Verdict)
+	}
+	if got := svc.Stats(); got.Reloads == 0 {
+		t.Fatalf("no reload recorded: %+v", got)
+	}
+	_ = r2
+	svc.Close()
+	if live := svc.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked", live)
+	}
+}
+
+// TestConcurrentExtendReloadsOnce: 8 goroutines race Extend on one
+// spilled id. The singleflight must load it exactly once (one Reloads
+// increment), every Extend must succeed, and teardown must leak nothing —
+// a double-retain or double-insert would trip the snapshot refcount
+// panics or the leak check.
+func TestConcurrentExtendReloadsOnce(t *testing.T) {
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	defer cold.Close()
+
+	// Park one reference, then Close: the service demotes it, leaving a
+	// store in exactly the "restarted server" shape — id known, table
+	// empty — with no eviction noise to perturb the reload count.
+	svc1 := NewWithConfig(Config{Store: cold})
+	r1, err := svc1.Extend(context.Background(), 0, [][]int{{1, 2}, {-1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	if !cold.Has(r1.ID) {
+		t.Fatal("Close did not demote the parked reference")
+	}
+
+	svc2 := NewWithConfig(Config{Store: cold})
+	defer svc2.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			r, err := svc2.Extend(context.Background(), r1.ID, [][]int{{3}})
+			if err == nil && r.Verdict != solver.Sat {
+				err = errors.New("wrong verdict")
+			}
+			errs[i] = err
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	st := svc2.Stats()
+	if st.Reloads != 1 {
+		t.Fatalf("Reloads = %d, want exactly 1", st.Reloads)
+	}
+	if st.Extends != workers {
+		t.Fatalf("Extends = %d, want %d", st.Extends, workers)
+	}
+	svc2.Close()
+	if live := svc2.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked after teardown", live)
+	}
+}
+
+// TestRestartRecovery closes the service AND the store, reopens the
+// directory (forcing a manifest-log replay), and checks a new service
+// answers the old ids with identical verdicts and issues non-colliding
+// fresh ids.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	svc1 := NewWithConfig(Config{Store: cold})
+
+	base, err := svc1.Extend(context.Background(), 0, [][]int{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := svc1.Extend(context.Background(), base.ID, [][]int{{-2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := svc1.Extend(context.Background(), mid.ID, [][]int{{-3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth for the post-restart extension, computed pre-restart.
+	want, err := svc1.Extend(context.Background(), leaf.ID, [][]int{{-1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	if live := svc1.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked at shutdown", live)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": everything in-memory is gone; only the directory remains.
+	cold2 := openStore(t, dir)
+	defer cold2.Close()
+	svc2 := NewWithConfig(Config{Store: cold2})
+	defer svc2.Close()
+
+	got, err := svc2.Extend(context.Background(), leaf.ID, [][]int{{-1}})
+	if err != nil {
+		t.Fatalf("extend of recovered id: %v", err)
+	}
+	if got.Verdict != want.Verdict {
+		t.Fatalf("verdict across restart = %v, want %v", got.Verdict, want.Verdict)
+	}
+	if got.ID <= want.ID {
+		t.Fatalf("fresh id %d collides with pre-restart ids (max %d)", got.ID, want.ID)
+	}
+	// Mid-chain ids recovered too, and keep-alives work on them.
+	if err := svc2.Touch(mid.ID); err != nil {
+		t.Fatalf("touch of recovered mid-chain id: %v", err)
+	}
+	if err := svc2.Pin(base.ID); err != nil {
+		t.Fatalf("pin of recovered id: %v", err)
+	}
+	if st := svc2.Stats(); st.Pinned != 2 { // root + base
+		t.Fatalf("pinned = %d", st.Pinned)
+	}
+	svc2.Close()
+	if live := svc2.LiveSnapshots(); live != 0 {
+		t.Fatalf("%d snapshots leaked after restarted teardown", live)
+	}
+}
+
+// TestReleaseSpilledPurgesColdCopy: releasing a demoted id removes the
+// manifest, so the id is gone for good (unknown, not evicted) and a
+// restart cannot resurrect it.
+func TestReleaseSpilledPurgesColdCopy(t *testing.T) {
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	svc := NewWithConfig(Config{Capacity: 1, Store: cold})
+	r1, err := svc.Extend(context.Background(), 0, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Extend(context.Background(), 0, [][]int{{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Has(r1.ID) {
+		t.Fatal("first reference not demoted")
+	}
+	if err := svc.Release(r1.ID); err != nil {
+		t.Fatalf("release of spilled id: %v", err)
+	}
+	if cold.Has(r1.ID) {
+		t.Fatal("cold copy survived release")
+	}
+	if err := svc.Touch(r1.ID); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("touch after release = %v, want ErrUnknownRef", err)
+	}
+	svc.Close()
+	cold.Close()
+	cold2 := openStore(t, dir)
+	defer cold2.Close()
+	if cold2.Has(r1.ID) {
+		t.Fatal("released id resurrected by replay")
+	}
+}
+
+// TestSpilledUnpinIsNoop: a spilled id is definitionally unpinned; Unpin
+// succeeds without promoting it.
+func TestSpilledUnpinIsNoop(t *testing.T) {
+	cold := openStore(t, t.TempDir())
+	defer cold.Close()
+	svc := NewWithConfig(Config{Capacity: 1, Store: cold})
+	defer svc.Close()
+	r1, err := svc.Extend(context.Background(), 0, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Extend(context.Background(), 0, [][]int{{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Has(r1.ID) {
+		t.Fatal("not demoted")
+	}
+	if err := svc.Unpin(r1.ID); err != nil {
+		t.Fatalf("unpin of spilled id: %v", err)
+	}
+	if st := svc.Stats(); st.Reloads != 0 {
+		t.Fatalf("unpin promoted the id: %+v", st)
+	}
+}
+
+// TestStorelessEvictionStillAnswersErrEvicted pins the pre-store
+// contract: without a store, eviction drops state and the id answers
+// ErrEvicted.
+func TestStorelessEvictionStillAnswersErrEvicted(t *testing.T) {
+	svc := NewWithConfig(Config{Capacity: 1})
+	defer svc.Close()
+	r1, err := svc.Extend(context.Background(), 0, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Extend(context.Background(), 0, [][]int{{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Touch(r1.ID); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("touch of dropped id = %v, want ErrEvicted", err)
+	}
+}

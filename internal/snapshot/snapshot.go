@@ -144,6 +144,16 @@ func NewTree() *Tree { return &Tree{} }
 // has one reference owned by the caller. ctx remains usable and mutable —
 // its future writes copy-on-write away from the captured state.
 func (t *Tree) Capture(ctx *Context, parent *State) *State {
+	return t.CaptureAtDepth(ctx, parent, 0)
+}
+
+// CaptureAtDepth is Capture for re-adopted snapshots: when parent is nil,
+// the new state's depth is set to depth instead of 0. The persistence tier
+// uses it to rebuild a demoted candidate whose ancestry lives on disk —
+// the parent link is gone (its chain may not be resident), but the depth
+// the manifest recorded survives for strategies and diagnostics. With a
+// non-nil parent, depth is ignored and the child sits at parent.depth+1.
+func (t *Tree) CaptureAtDepth(ctx *Context, parent *State, depth int) *State {
 	out := make([]byte, len(ctx.Out))
 	copy(out, ctx.Out)
 	frozen := ctx.Mem.Fork()
@@ -153,6 +163,7 @@ func (t *Tree) Capture(ctx *Context, parent *State) *State {
 	frozen.Freeze()
 	s := &State{
 		id:     t.nextID.Add(1),
+		depth:  depth,
 		tree:   t,
 		parent: parent,
 		mem:    frozen,

@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSolverUnmarshal fuzzes the solver-state decoder with a corpus
+// seeded from real Marshal output. The contract under fuzzing: corrupt
+// input errors — it never panics, hangs, or allocates far beyond the
+// input size (footer counts are validated against the body before they
+// size anything) — and accepted input must survive a Marshal/Unmarshal
+// round-trip bit-exactly (Marshal canonicalizes, so a second round trip
+// is a fixed point).
+func FuzzSolverUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(New(0).Marshal())
+
+	s := New(4)
+	for _, cl := range [][]int{{1, 2}, {-1, 3}, {-2, -3, 4}, {2, -4}} {
+		if err := s.AddClause(cl...); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if got := s.Solve(0); got != Sat {
+		f.Fatalf("seed solve = %v", got)
+	}
+	f.Add(s.Marshal())
+
+	// A solved random instance with learned clauses and saved phases.
+	r := New(30)
+	for _, cl := range Random3SAT(30, 120, 11) {
+		if err := r.AddClause(cl...); err != nil {
+			f.Fatal(err)
+		}
+	}
+	r.Solve(0)
+	f.Add(r.Marshal())
+
+	// An unsat instance (ok flag exercised).
+	u := New(1)
+	u.AddClause(1)
+	u.AddClause(-1)
+	u.Solve(0)
+	f.Add(u.Marshal())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted state must be internally consistent enough to
+		// re-marshal, and the canonical form must be a fixed point.
+		once := s.Marshal()
+		s2, err := Unmarshal(once)
+		if err != nil {
+			t.Fatalf("re-unmarshal of accepted state failed: %v", err)
+		}
+		twice := s2.Marshal()
+		if !bytes.Equal(once, twice) {
+			t.Fatal("canonical marshal is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,502 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+// buildState captures a state with resident pages, files, open fds, regs,
+// and output, returning it plus the tree and allocator for leak checks.
+func buildState(t *testing.T, mutate func(*snapshot.Context)) (*snapshot.Tree, *mem.FrameAllocator, *snapshot.State) {
+	t.Helper()
+	alloc := mem.NewFrameAllocator(0)
+	as := mem.NewAddressSpace(alloc)
+	if err := as.Map(0x1000, 16*mem.PageSize, mem.PermRead|mem.PermWrite, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &snapshot.Context{Mem: as, FS: fs.New()}
+	if mutate != nil {
+		mutate(ctx)
+	}
+	tree := snapshot.NewTree()
+	st := tree.Capture(ctx, nil)
+	ctx.Release()
+	return tree, alloc, st
+}
+
+func mustWriteU64(t *testing.T, as *mem.AddressSpace, addr, v uint64) {
+	t.Helper()
+	if err := as.WriteU64(addr, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillLoadRoundTrip demotes a state with memory, files, fds, regs,
+// and output, reloads it from a fresh Open (forcing log replay), and
+// checks every observable facet survived.
+func TestSpillLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tree, alloc, st := buildState(t, func(ctx *snapshot.Context) {
+		mustWriteU64(t, ctx.Mem, 0x1000, 0xdeadbeef)
+		mustWriteU64(t, ctx.Mem, 0x1000+8*mem.PageSize, 42)
+		if err := ctx.FS.WriteFile("/a.txt", bytes.Repeat([]byte("ab"), 3000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.FS.WriteFile("/empty", nil); err != nil {
+			t.Fatal(err)
+		}
+		fd, err := ctx.FS.Open("/a.txt", fs.ORdWr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.FS.Seek(fd, 100, fs.SeekSet); err != nil {
+			t.Fatal(err)
+		}
+		ctx.Regs.RIP = 0xcafe
+		ctx.Regs.GPR[vm.RAX] = 7
+		ctx.Out = []byte("hello from the path")
+	})
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(17, st); err != nil {
+		t.Fatal(err)
+	}
+	wantFSHash := st.FS().ContentHash()
+	st.Release()
+	if live := tree.Live(); live != 0 {
+		t.Fatalf("%d snapshots live after release", live)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh Open replays the manifest log — the restart path.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Has(17) || s2.MaxID() != 17 {
+		t.Fatalf("replayed store: Has(17)=%v MaxID=%d", s2.Has(17), s2.MaxID())
+	}
+	ctx, depth, err := s2.Load(17, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	if depth != 0 {
+		t.Errorf("depth = %d, want 0", depth)
+	}
+	if v, err := ctx.Mem.ReadU64(0x1000); err != nil || v != 0xdeadbeef {
+		t.Errorf("page 0 = %#x, %v", v, err)
+	}
+	if v, err := ctx.Mem.ReadU64(0x1000 + 8*mem.PageSize); err != nil || v != 42 {
+		t.Errorf("page 8 = %#x, %v", v, err)
+	}
+	if data, err := ctx.FS.ReadFile("/a.txt"); err != nil || !bytes.Equal(data, bytes.Repeat([]byte("ab"), 3000)) {
+		t.Errorf("/a.txt: %d bytes, %v", len(data), err)
+	}
+	if sz, err := ctx.FS.Stat("/empty"); err != nil || sz != 0 {
+		t.Errorf("/empty: %d, %v", sz, err)
+	}
+	if ctx.Regs.RIP != 0xcafe || ctx.Regs.GPR[vm.RAX] != 7 {
+		t.Errorf("regs = %+v", ctx.Regs)
+	}
+	if string(ctx.Out) != "hello from the path" {
+		t.Errorf("out = %q", ctx.Out)
+	}
+	// The descriptor table survived: fd 3 still open at offset 100.
+	if n, err := ctx.FS.Seek(3, 0, fs.SeekCur); err != nil || n != 100 {
+		t.Errorf("fd 3 offset = %d, %v", n, err)
+	}
+	// Content hash of the rebuilt image matches the manifest's record.
+	sn := ctx.FS.Snapshot()
+	defer sn.Release()
+	if got := sn.ContentHash(); got != wantFSHash {
+		t.Error("reloaded fs content hash differs from spilled image")
+	}
+}
+
+// TestSpillDeltaSharesParentChunks spills a parent and two children that
+// each dirty one page: the unchanged pages must dedup onto the parent's
+// chunks (content addressing), and the dedup ratio must reflect it.
+func TestSpillDeltaSharesParentChunks(t *testing.T) {
+	dir := t.TempDir()
+	alloc := mem.NewFrameAllocator(0)
+	as := mem.NewAddressSpace(alloc)
+	const pages = 12
+	if err := as.Map(0x1000, pages*mem.PageSize, mem.PermRead|mem.PermWrite, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		mustWriteU64(t, as, 0x1000+uint64(i)*mem.PageSize, uint64(i)+1)
+	}
+	ctx := &snapshot.Context{Mem: as, FS: fs.New()}
+	tree := snapshot.NewTree()
+	parent := tree.Capture(ctx, nil)
+
+	children := make([]*snapshot.State, 2)
+	for c := range children {
+		child := parent.Restore()
+		mustWriteU64(t, child.Mem, 0x1000+uint64(c)*mem.PageSize, 0x9000+uint64(c))
+		children[c] = tree.Capture(child, parent)
+		child.Release()
+	}
+	ctx.Release()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(1, parent); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats()
+	for c, child := range children {
+		if err := s.Spill(uint64(2+c), child); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// Each child shares pages-1 chunks with the parent and adds one.
+	wantChunks := base.Chunks + 2
+	if st.Chunks != wantChunks {
+		t.Errorf("chunks = %d, want %d (children must dedup onto parent pages)", st.Chunks, wantChunks)
+	}
+	if st.LogicalBytes != int64(3*pages)*chunkSize {
+		t.Errorf("logical = %d, want %d", st.LogicalBytes, int64(3*pages)*chunkSize)
+	}
+	if r := st.DedupRatio(); r < 0.6 {
+		t.Errorf("dedup ratio = %.2f, want sibling sharing", r)
+	}
+
+	// Chain linkage: each child manifest records the parent's fs hash.
+	pm, _ := s.Manifest(1)
+	cm, _ := s.Manifest(2)
+	if cm.ParentHash != pm.FSHash {
+		t.Error("child manifest ParentHash != parent manifest FSHash")
+	}
+
+	for _, c := range children {
+		c.Release()
+	}
+	parent.Release()
+	if tree.Live() != 0 || alloc.Live() != 0 {
+		t.Fatalf("leak: %d snapshots, %d frames", tree.Live(), alloc.Live())
+	}
+}
+
+// TestDeleteGarbageCollectsChunks verifies manifest deletion drops
+// unshared chunks from disk but keeps chunks another manifest references.
+func TestDeleteGarbageCollectsChunks(t *testing.T) {
+	dir := t.TempDir()
+	tree, _, st := buildState(t, func(ctx *snapshot.Context) {
+		if err := ctx.FS.WriteFile("/shared", bytes.Repeat([]byte{7}, 2*chunkSize)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer func() {
+		st.Release()
+		if tree.Live() != 0 {
+			t.Errorf("%d snapshots live", tree.Live())
+		}
+	}()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(1, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(2, st); err != nil { // same content under a second id
+		t.Fatal(err)
+	}
+	full := s.Stats()
+	if full.Manifests != 2 {
+		t.Fatalf("manifests = %d", full.Manifests)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Chunks != full.Chunks || got.ColdBytes != full.ColdBytes {
+		t.Errorf("delete of a fully-shared manifest changed chunks: %+v vs %+v", got, full)
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Stats()
+	if got.Manifests != 0 || got.Chunks != 0 || got.ColdBytes != 0 {
+		t.Errorf("after deleting all manifests: %+v", got)
+	}
+	// Chunk files physically gone.
+	ents, err := os.ReadDir(filepath.Join(dir, chunkDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		sub, _ := os.ReadDir(filepath.Join(dir, chunkDir, e.Name()))
+		if len(sub) != 0 {
+			t.Errorf("chunk files left under %s", e.Name())
+		}
+	}
+	// Deletion is durable: a reopened store no longer answers either id.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Has(1) || s2.Has(2) {
+		t.Error("deleted ids resurrected by replay")
+	}
+}
+
+// TestSpillIdempotent re-spilling a resident id is a no-op.
+func TestSpillIdempotent(t *testing.T) {
+	tree, _, st := buildState(t, nil)
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(5, st); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if err := s.Spill(5, st); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats(); after != before {
+		t.Errorf("re-spill changed stats: %+v vs %+v", after, before)
+	}
+}
+
+// TestTornLogTailRecovered appends garbage (a torn half-record) to the
+// log: Open must recover every intact record and truncate the tail so
+// future appends extend a clean log.
+func TestTornLogTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	tree, _, st := buildState(t, func(ctx *snapshot.Context) {
+		if err := ctx.FS.WriteFile("/f", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(9, st); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	logPath := filepath.Join(dir, logName)
+	intact, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: a valid header promising more payload than exists.
+	torn := append(append([]byte{}, intact...), intact[:recHdrBytes+3]...)
+	if err := os.WriteFile(logPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	if !s2.Has(9) {
+		t.Fatal("intact record lost")
+	}
+	// The torn tail is gone: spill another id, then a third Open sees both.
+	if err := s2.Spill(10, st); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.Has(9) || !s3.Has(10) {
+		t.Errorf("after truncate+append: Has(9)=%v Has(10)=%v", s3.Has(9), s3.Has(10))
+	}
+}
+
+// TestCorruptRecordFailsOpen flips a byte inside a checksummed record:
+// Open must refuse the log rather than replay damaged state.
+func TestCorruptRecordFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	tree, _, st := buildState(t, nil)
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(3, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(4, st); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	logPath := filepath.Join(dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHdrBytes+10] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt record = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptChunkFailsLoad damages a chunk payload on disk: Load must
+// report corruption, not hand back wrong bytes.
+func TestCorruptChunkFailsLoad(t *testing.T) {
+	dir := t.TempDir()
+	tree, alloc, st := buildState(t, func(ctx *snapshot.Context) {
+		if err := ctx.FS.WriteFile("/f", bytes.Repeat([]byte{9}, chunkSize)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(8, st); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(bytes.Repeat([]byte{9}, chunkSize))
+	path := s.chunkPath(Hash(h))
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(8, alloc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load with damaged chunk = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadUnknownID asks for an id the store never held.
+func TestLoadUnknownID(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Load(99, mem.NewFrameAllocator(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load(99) = %v, want ErrNotFound", err)
+	}
+	if s.Has(99) || s.MaxID() != 0 {
+		t.Error("empty store claims content")
+	}
+}
+
+// TestManifestRoundTrip exercises encode/decode equality directly.
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		ID:    12,
+		Depth: 4,
+		Regs:  vm.Registers{RIP: 1, Flags: 2, GPR: [16]uint64{3, 4, 5}},
+		Out:   []byte("output bytes"),
+		Brk:   0x8000,
+		VMAs:  []mem.VMA{{Start: 0x1000, End: 0x3000, Perm: 3, Name: "heap"}},
+		Pages: []PageRef{{Addr: 0x1000, Hash: Hash{1, 2}}, {Addr: 0x2000, Hash: Hash{3}}},
+		Files: []FileRef{
+			{Path: "/x", Size: chunkSize + 1, Blocks: []BlockRef{{Present: true, Hash: Hash{9}}, {}}},
+			{Path: "/empty", Size: 0},
+		},
+		FDs: []fs.FD{{Path: "/x", Off: 33, Flags: fs.ORdWr, Open: true}},
+	}
+	m.ParentHash[0] = 0xaa
+	m.FSHash[0] = 0xbb
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || got.Depth != m.Depth || got.Regs != m.Regs ||
+		string(got.Out) != string(m.Out) || got.Brk != m.Brk ||
+		got.ParentHash != m.ParentHash || got.FSHash != m.FSHash {
+		t.Errorf("scalar fields: %+v", got)
+	}
+	if len(got.VMAs) != 1 || got.VMAs[0] != m.VMAs[0] {
+		t.Errorf("vmas: %+v", got.VMAs)
+	}
+	if len(got.Pages) != 2 || got.Pages[0] != m.Pages[0] || got.Pages[1] != m.Pages[1] {
+		t.Errorf("pages: %+v", got.Pages)
+	}
+	if len(got.Files) != 2 || got.Files[0].Path != "/x" || got.Files[0].Size != chunkSize+1 ||
+		len(got.Files[0].Blocks) != 2 || !got.Files[0].Blocks[0].Present || got.Files[0].Blocks[1].Present {
+		t.Errorf("files: %+v", got.Files)
+	}
+	if len(got.FDs) != 1 || got.FDs[0] != m.FDs[0] {
+		t.Errorf("fds: %+v", got.FDs)
+	}
+}
+
+// TestDecodeManifestRejectsCorruption flips every byte position in a small
+// manifest one at a time: decode must error (the checksum catches all
+// single-byte corruption) and never panic.
+func TestDecodeManifestRejectsCorruption(t *testing.T) {
+	m := &Manifest{ID: 1, Files: []FileRef{{Path: "/f", Size: 10, Blocks: []BlockRef{{Present: true}}}}}
+	enc := encodeManifest(m)
+	for i := range enc {
+		bad := append([]byte{}, enc...)
+		bad[i] ^= 0x41
+		if _, err := decodeManifest(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	for _, n := range []int{0, 1, 8, len(enc) - 1} {
+		if _, err := decodeManifest(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+}
+
+// TestClosedStore verifies post-Close operations fail with ErrClosed.
+func TestClosedStore(t *testing.T) {
+	tree, alloc, st := buildState(t, nil)
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if err := s.Spill(1, st); !errors.Is(err, ErrClosed) {
+		t.Errorf("Spill after Close = %v", err)
+	}
+	if _, _, err := s.Load(1, alloc); !errors.Is(err, ErrClosed) {
+		t.Errorf("Load after Close = %v", err)
+	}
+	if err := s.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete after Close = %v", err)
+	}
+}
