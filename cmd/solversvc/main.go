@@ -107,9 +107,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "solversvc:", err)
 			os.Exit(1)
 		}
-		if n := len(cold.IDs()); n > 0 {
+		if ids := cold.IDs(); len(ids) > 0 {
 			fmt.Fprintf(os.Stderr, "solversvc: recovered %d parked reference(s) from %s (max id %d)\n",
-				n, *storeDir, cold.MaxID())
+				len(ids), *storeDir, ids[len(ids)-1])
 		}
 	}
 	svc := service.NewWithConfig(service.Config{Capacity: *capacity, Shards: *shards, Store: cold})

@@ -15,6 +15,7 @@ import (
 	"io"
 	"path"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -497,6 +498,53 @@ func (s *FS) Snapshot() *Snapshot {
 type Snapshot struct {
 	inodes map[string]*File
 	fds    []FD
+
+	// ContentHash memoization: the image is frozen, so the hash is
+	// computed at most once no matter how many spills consult it (every
+	// demotion records its own and its parent's image hash).
+	hashOnce sync.Once
+	hash     [32]byte
+}
+
+// ImportFile installs (or replaces) a file from its exported image form:
+// logical size plus resident blocks in index order, nil meaning a hole.
+// The inverse of Snapshot.Export, used by the persistence tier to rebuild
+// a demoted image — unlike WriteFile it never materializes holes, so a
+// sparse file reloads at its resident footprint, not its logical size.
+// Block contents are copied. Enforces the MaxFileSize bound and the dense
+// block-table shape decodeManifest guarantees; on error the view is
+// untouched.
+func (s *FS) ImportFile(img FileImage) error {
+	if img.Size < 0 || img.Size > MaxFileSize {
+		return ErrTooBig
+	}
+	if int64(len(img.Blocks)) != (img.Size+BlockSize-1)/BlockSize {
+		return fmt.Errorf("fs: import %q: %d blocks inconsistent with size %d: %w",
+			img.Path, len(img.Blocks), img.Size, ErrInvalid)
+	}
+	f := newFile()
+	f.size = img.Size
+	f.blocks = make([]*block, len(img.Blocks))
+	for i, src := range img.Blocks {
+		if src == nil {
+			continue
+		}
+		b := newBlock()
+		b.data = *src
+		f.blocks[i] = b
+	}
+	// Keep truncate's invariant: the final block's tail past size reads
+	// (and stays) zero. Exported images already satisfy it; hand-built
+	// ones may not.
+	if k := len(f.blocks); k > 0 && f.blocks[k-1] != nil && img.Size%BlockSize != 0 {
+		clear(f.blocks[k-1].data[img.Size%BlockSize:])
+	}
+	name := cleanPath(img.Path)
+	if old, ok := s.inodes[name]; ok {
+		old.release()
+	}
+	s.inodes[name] = f
+	return nil
 }
 
 // Materialize builds a fresh mutable view seeded from the snapshot.
@@ -581,12 +629,24 @@ func (sn *Snapshot) Export() []FileImage {
 	return out
 }
 
+// zeroBlock is the all-zero block content, for hole-equivalence checks.
+var zeroBlock [BlockSize]byte
+
 // ContentHash returns a stable SHA-256 over the frozen image's logical
 // content: paths, sizes, block residency and bytes, and the descriptor
 // table. Two snapshots hash equal iff a guest could not tell them apart
 // through the file API — the identity the persistence tier records as a
-// manifest's parent hash and verifies after a reload round-trip.
+// manifest's parent hash and verifies after a reload round-trip. Because
+// a hole and a resident all-zero block read identically, the hash treats
+// them identically too (all-zero blocks are skipped like holes); without
+// that, guest-indistinguishable images could hash apart. The image is
+// frozen, so the result is memoized.
 func (sn *Snapshot) ContentHash() [32]byte {
+	sn.hashOnce.Do(func() { sn.hash = sn.contentHash() })
+	return sn.hash
+}
+
+func (sn *Snapshot) contentHash() [32]byte {
 	h := sha256.New()
 	var word [8]byte
 	putU64 := func(v uint64) {
@@ -602,7 +662,7 @@ func (sn *Snapshot) ContentHash() [32]byte {
 			// Only bytes within the logical size are observable; the last
 			// block's tail past f.size is zeroed by truncate, so hashing
 			// full resident blocks stays content-stable.
-			if b == nil {
+			if b == nil || b.data == zeroBlock {
 				continue
 			}
 			putU64(uint64(i))

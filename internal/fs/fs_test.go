@@ -384,6 +384,94 @@ func TestSnapshotExportAndFDs(t *testing.T) {
 	}
 }
 
+// TestImportFilePreservesHoles: ImportFile is Export's inverse — holes
+// stay holes (resident footprint unchanged), content round-trips, and a
+// malformed block table is rejected.
+func TestImportFilePreservesHoles(t *testing.T) {
+	src := New()
+	fd, err := src.Open("/sparse", OWrOnly|OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Seek(fd, 3*BlockSize, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Write(fd, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	sn := src.Snapshot()
+	imgs := sn.Export()
+	if len(imgs) != 1 || imgs[0].Blocks[0] != nil || imgs[0].Blocks[3] == nil {
+		t.Fatalf("export shape: %+v", imgs)
+	}
+
+	dst := New()
+	if err := dst.ImportFile(imgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	dst.SetFDs(sn.FDs()) // as store.Load does, so the images compare whole
+	want, _ := src.ReadFile("/sparse")
+	got, err := dst.ReadFile("/sparse")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("content round-trip: %d vs %d bytes, %v", len(got), len(want), err)
+	}
+	dsn := dst.Snapshot()
+	sp, ss := sn.Footprint()
+	dp, ds := dsn.Footprint()
+	if sp+ss != dp+ds {
+		t.Errorf("resident bytes changed across import: %d vs %d (hole materialized?)", sp+ss, dp+ds)
+	}
+	if sn.ContentHash() != dsn.ContentHash() {
+		t.Error("content hash changed across import")
+	}
+	dsn.Release()
+	sn.Release()
+	src.Release()
+	dst.Release()
+
+	bad := New()
+	defer bad.Release()
+	if err := bad.ImportFile(FileImage{Path: "/x", Size: 2 * BlockSize, Blocks: make([]*[BlockSize]byte, 1)}); err == nil {
+		t.Error("inconsistent block table accepted")
+	}
+	if err := bad.ImportFile(FileImage{Path: "/x", Size: MaxFileSize + 1}); err == nil {
+		t.Error("oversized import accepted")
+	}
+}
+
+// TestContentHashHoleEqualsZeroBlock: a hole and a resident all-zero
+// block are guest-indistinguishable, so they must hash identically —
+// the "equal iff a guest could not tell them apart" contract.
+func TestContentHashHoleEqualsZeroBlock(t *testing.T) {
+	hash := func(build func(*FS)) [32]byte {
+		v := New()
+		defer v.Release()
+		build(v)
+		sn := v.Snapshot()
+		defer sn.Release()
+		return sn.ContentHash()
+	}
+	// Hole in block 0: seek past it, write block 1.
+	holey := hash(func(v *FS) {
+		fd, _ := v.Open("/f", OWrOnly|OCreate)
+		v.Seek(fd, BlockSize, SeekSet)
+		v.Write(fd, []byte("data"))
+	})
+	// Same logical bytes with block 0 resident (explicit zeroes), ending
+	// in the identical fd state.
+	dense := hash(func(v *FS) {
+		fd, _ := v.Open("/f", OWrOnly|OCreate)
+		v.Seek(fd, BlockSize, SeekSet)
+		v.Write(fd, []byte("data"))
+		v.Seek(fd, 0, SeekSet)
+		v.Write(fd, make([]byte, BlockSize))
+		v.Seek(fd, BlockSize+4, SeekSet)
+	})
+	if holey != dense {
+		t.Error("hole and resident zero block hash differently")
+	}
+}
+
 // TestSnapshotContentHash: equal logical content hashes equal; any
 // observable difference — bytes, size, fd state — changes the hash.
 func TestSnapshotContentHash(t *testing.T) {

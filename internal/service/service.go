@@ -271,6 +271,14 @@ type Service struct {
 	spills     atomic.Uint64
 	spillFails atomic.Uint64
 	reloads    atomic.Uint64
+	// idReserved is the durable id high-water mark already recorded in the
+	// store's log: no restarted service will ever re-issue an id at or
+	// below it, even if the id leaves no manifest behind (failed spill,
+	// client Release). park pushes it ahead of nextID in batches of
+	// idReserveBatch before an id is handed to a client, amortizing the
+	// fsync to ~1/idReserveBatch per park.
+	idReserved atomic.Uint64
+	idResMu    sync.Mutex
 	// reloadMu/reloading singleflight concurrent promote-on-access loads
 	// of the same spilled id: the first caller reloads, the rest wait —
 	// one disk walk, one Reloads increment, one table insert.
@@ -321,8 +329,12 @@ func NewWithConfig(cfg Config) *Service {
 	}
 	if s.store != nil {
 		// Restart recovery: ids demoted by a previous process answer via
-		// promote-on-access; fresh ids must start above every one of them.
-		s.nextID.Store(s.store.MaxID())
+		// promote-on-access; fresh ids must start above every id the store
+		// has ever known — resident manifests plus the durable high-water
+		// mark, which covers ids whose manifests did not survive.
+		floor := s.store.MaxID()
+		s.nextID.Store(floor)
+		s.idReserved.Store(floor)
 	}
 	// Root candidate: empty filesystem, empty solver. Pinned forever.
 	as := mem.NewAddressSpace(s.alloc)
@@ -477,6 +489,15 @@ func (s *Service) park(child *snapshot.State) (uint64, error) {
 		}
 	}
 	id := s.nextID.Add(1)
+	if err := s.reserveID(id); err != nil {
+		// The id's no-reuse guarantee could not be made durable; handing
+		// it out anyway would let a restarted service re-issue it for a
+		// different problem. Fail the park — the store is broken (disk
+		// full, I/O error), so demotions would be failing too.
+		s.parked.Add(-1)
+		child.Release()
+		return 0, err
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	e := &entry{id: id, state: child, lastUse: s.clock.Add(1)}
@@ -484,6 +505,30 @@ func (s *Service) park(child *snapshot.State) (uint64, error) {
 	sh.lruPushBack(e)
 	sh.mu.Unlock()
 	return id, nil
+}
+
+// idReserveBatch is how far past the issued ids park pushes the durable
+// high-water mark: one fsynced log record reserves this many ids.
+const idReserveBatch = 1024
+
+// reserveID ensures the store's durable high-water mark covers id before
+// it is handed to a client. No-op without a store or when a previous
+// batch already covers id.
+func (s *Service) reserveID(id uint64) error {
+	if s.store == nil || id <= s.idReserved.Load() {
+		return nil
+	}
+	s.idResMu.Lock()
+	defer s.idResMu.Unlock()
+	if id <= s.idReserved.Load() {
+		return nil
+	}
+	target := id + idReserveBatch
+	if err := s.store.ReserveIDs(target); err != nil {
+		return fmt.Errorf("service: reserving id %d: %w", id, err)
+	}
+	s.idReserved.Store(target)
+	return nil
 }
 
 // evictOne drops the least-recently-used unpinned reference: its snapshot

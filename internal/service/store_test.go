@@ -191,6 +191,54 @@ func TestRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestRestartNeverReusesReleasedID: an id that leaves no manifest behind
+// (here: released before Close) must never be re-issued by a restarted
+// service — a client still holding it would silently get answers for a
+// different problem. The durable id high-water mark (reserved in batches
+// ahead of issuance) keeps the restart floor above every id ever handed
+// out, not just those with surviving manifests.
+func TestRestartNeverReusesReleasedID(t *testing.T) {
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	svc1 := NewWithConfig(Config{Store: cold})
+	r1, err := svc1.Extend(context.Background(), 0, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc1.Extend(context.Background(), 0, [][]int{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r2 will leave no manifest: released live, never spilled.
+	if err := svc1.Release(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold2 := openStore(t, dir)
+	defer cold2.Close()
+	svc2 := NewWithConfig(Config{Store: cold2})
+	defer svc2.Close()
+	if err := svc2.Touch(r2.ID); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("touch of released id after restart = %v, want ErrUnknownRef", err)
+	}
+	r3, err := svc2.Extend(context.Background(), 0, [][]int{{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.ID <= r2.ID {
+		t.Fatalf("restarted service issued id %d at or below released id %d", r3.ID, r2.ID)
+	}
+	// The released id stays dead even after fresh issuance.
+	if err := svc2.Touch(r2.ID); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("released id resurrected: %v", err)
+	}
+	_ = r1
+}
+
 // TestReleaseSpilledPurgesColdCopy: releasing a demoted id removes the
 // manifest, so the id is gone for good (unknown, not evicted) and a
 // restart cannot resurrect it.

@@ -41,11 +41,19 @@ func (c *Context) Release() {
 	}
 }
 
+// stateSeq issues process-global snapshot sequence numbers. Unlike the
+// tree-local id, a seq is never reused within the process — not even
+// across trees — so a cache that outlives one tree (the store's page-hash
+// cache outlives a service's tree) can key on it without ever confusing
+// two states.
+var stateSeq atomic.Uint64
+
 // State is one partial candidate: a lightweight immutable snapshot.
 // All fields are frozen after capture. States are reference counted; the
 // holder of the last reference releases the underlying memory and files.
 type State struct {
 	id     uint64
+	seq    uint64
 	depth  int
 	parent *State
 	tree   *Tree
@@ -59,6 +67,11 @@ type State struct {
 
 // ID returns the snapshot's unique id within its tree.
 func (s *State) ID() uint64 { return s.id }
+
+// Seq returns the snapshot's process-global sequence number: unique and
+// never reused across every tree in this process. ID is the tree-scoped
+// identity; Seq is for process-lifetime caches keyed by state.
+func (s *State) Seq() uint64 { return s.seq }
 
 // Depth returns the distance from the root candidate.
 func (s *State) Depth() int { return s.depth }
@@ -163,6 +176,7 @@ func (t *Tree) CaptureAtDepth(ctx *Context, parent *State, depth int) *State {
 	frozen.Freeze()
 	s := &State{
 		id:     t.nextID.Add(1),
+		seq:    stateSeq.Add(1),
 		depth:  depth,
 		tree:   t,
 		parent: parent,

@@ -24,12 +24,14 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/fs"
@@ -45,12 +47,18 @@ var ErrClosed = errors.New("store: closed")
 
 // Log record framing.
 const (
-	logMagic    = uint32(0x4F545353) // "SSTO"
-	opPut       = byte(1)
-	opDelete    = byte(2)
+	logMagic = uint32(0x4F545353) // "SSTO"
+	opPut    = byte(1)
+	opDelete = byte(2)
+	// opIDMark persists a service-id high-water mark (8-byte payload):
+	// every id at or below it may already have been issued to a client,
+	// even if no manifest for it survived (its spill failed, or it was
+	// released before demotion). Replay keeps the max, so a restarted
+	// service can never re-issue such an id for a different problem.
+	opIDMark    = byte(3)
 	logName     = "manifests.log"
 	chunkDir    = "chunks"
-	delPayload  = 8
+	u64Payload  = 8
 	recHdrBytes = 4 + 1 + 4 // magic, op, payload length
 )
 
@@ -98,10 +106,15 @@ type Store struct {
 	chunkRefs map[Hash]int
 	chunkSize map[Hash]int64 // trimmed on-disk payload bytes
 	coldBytes int64
-	refChunks int64 // chunk references across all manifests
+	refChunks int64  // chunk references across all manifests
+	idMark    uint64 // durable service-id high-water mark (ReserveIDs)
 
-	// pageHashes caches per-state page hashes keyed by snapshot tree id,
-	// so sibling spills off one live parent hash the shared pages once.
+	// pageHashes caches per-state page hashes keyed by the state's
+	// process-global sequence number (snapshot.State.Seq), so sibling
+	// spills off one live parent hash the shared pages once. The key must
+	// be the seq, not the tree-local id: the store outlives a service, and
+	// a successor service's tree reuses ids 1,2,3..., so an id-keyed cache
+	// would hand a new tree's spill a dead tree's hashes.
 	pageHashes map[uint64]map[uint64]Hash
 }
 
@@ -117,6 +130,12 @@ func Open(dir string) (*Store, error) {
 	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open log: %w", err)
+	}
+	// Make the store's own entries (chunks/, manifests.log) durable on
+	// first creation, completing the chunk-file dir-sync chain.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync store dir: %w", err)
 	}
 	s := &Store{
 		dir:        dir,
@@ -146,7 +165,50 @@ func Open(dir string) (*Store, error) {
 	for _, m := range s.manifests {
 		s.accountManifest(m, +1)
 	}
+	// Sweep debris from spills that crashed or failed between publishing
+	// chunk files and committing their manifest.
+	s.sweepOrphans()
 	return s, nil
+}
+
+// sweepOrphans removes chunk files no replayed manifest references, plus
+// stray temp files from interrupted publishes. Such orphans are debris
+// from a Spill that failed or crashed after writing chunks but before its
+// manifest committed; nothing will ever reference them again, and they
+// are invisible to Stats, so without the sweep they accumulate forever.
+// Best-effort (an undeletable orphan only costs disk); runs
+// single-threaded in Open before the store is shared.
+func (s *Store) sweepOrphans() {
+	root := filepath.Join(s.dir, chunkDir)
+	subs, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(root, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			path := filepath.Join(root, sub.Name(), e.Name())
+			if strings.HasPrefix(e.Name(), ".chunk-") {
+				os.Remove(path) // CreateTemp debris from a crashed publish
+				continue
+			}
+			raw, err := hex.DecodeString(sub.Name() + e.Name())
+			if err != nil || len(raw) != len(Hash{}) {
+				continue // not a chunk file; leave it alone
+			}
+			var h Hash
+			copy(h[:], raw)
+			if _, ok := s.chunkRefs[h]; !ok {
+				os.Remove(path)
+			}
+		}
+	}
 }
 
 // replay applies the manifest log to the in-memory tables and returns the
@@ -194,10 +256,17 @@ func (s *Store) replay(f *os.File) (int64, error) {
 			}
 			s.manifests[m.ID] = m
 		case opDelete:
-			if len(body) != delPayload {
+			if len(body) != u64Payload {
 				return 0, fmt.Errorf("%w: delete record of %d bytes at offset %d", ErrCorrupt, len(body), off)
 			}
 			delete(s.manifests, binary.LittleEndian.Uint64(body))
+		case opIDMark:
+			if len(body) != u64Payload {
+				return 0, fmt.Errorf("%w: id-mark record of %d bytes at offset %d", ErrCorrupt, len(body), off)
+			}
+			if v := binary.LittleEndian.Uint64(body); v > s.idMark {
+				s.idMark = v
+			}
 		default:
 			return 0, fmt.Errorf("%w: log op %d at offset %d", ErrCorrupt, op, off)
 		}
@@ -279,8 +348,17 @@ func (s *Store) writeChunkFile(h Hash, data []byte) (int64, error) {
 	if fi, err := os.Stat(path); err == nil && fi.Size() == int64(len(trimmed)) {
 		return fi.Size(), nil
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	_, statErr := os.Stat(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("store: chunk dir: %w", err)
+	}
+	if statErr != nil {
+		// First chunk under this prefix: make the subdirectory's own
+		// entry durable too.
+		if err := syncDir(filepath.Dir(dir)); err != nil {
+			return 0, fmt.Errorf("store: sync chunk root: %w", err)
+		}
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".chunk-*")
 	if err != nil {
@@ -302,7 +380,28 @@ func (s *Store) writeChunkFile(h Hash, data []byte) (int64, error) {
 		os.Remove(tmp.Name())
 		return 0, fmt.Errorf("store: publish chunk: %w", err)
 	}
+	// Make the rename durable before any manifest commit can fsync a log
+	// record referencing it: without the directory sync, a crash could
+	// persist the (fsynced) manifest while the chunk's directory entry
+	// never reached disk — a recovered manifest pointing at nothing.
+	if err := syncDir(dir); err != nil {
+		return 0, fmt.Errorf("store: sync chunk dir: %w", err)
+	}
 	return int64(len(trimmed)), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry in
+// it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readChunk loads and validates the chunk for h, returning the full
@@ -323,8 +422,10 @@ func (s *Store) readChunk(h Hash) ([]byte, error) {
 }
 
 // cacheHashes remembers a state's page hashes for sibling spills, bounding
-// total cache entries.
-func (s *Store) cacheHashes(treeID uint64, hashes map[uint64]Hash) {
+// total cache entries. seq is the state's process-global sequence number
+// (snapshot.State.Seq) — never a tree-local id, which a successor tree
+// would reuse.
+func (s *Store) cacheHashes(seq uint64, hashes map[uint64]Hash) {
 	if len(s.pageHashes) >= hashCacheCap {
 		for k := range s.pageHashes {
 			delete(s.pageHashes, k)
@@ -333,7 +434,7 @@ func (s *Store) cacheHashes(treeID uint64, hashes map[uint64]Hash) {
 			}
 		}
 	}
-	s.pageHashes[treeID] = hashes
+	s.pageHashes[seq] = hashes
 }
 
 // hashPages content-hashes every resident page of a frozen address space.
@@ -345,13 +446,27 @@ func hashPages(as *mem.AddressSpace) map[uint64]Hash {
 	return out
 }
 
-// pendingChunk is one chunk a spill may need on disk. data aliases the
-// state's own frame/block storage, which the caller's retained state
-// keeps alive for the duration of the spill.
-type pendingChunk struct {
-	h    Hash
-	data []byte
+// discardWritten removes chunk files a failed spill published but never
+// committed, skipping any chunk that became referenced or accounted in
+// the meantime (a concurrent spill of shared content may have committed
+// it; a concurrent spill still in flight re-verifies at its own commit
+// and rewrites what this removes). Callers hold s.mu.
+func (s *Store) discardWritten(written map[Hash]struct{}) {
+	for h := range written {
+		if _, ok := s.chunkRefs[h]; ok {
+			continue
+		}
+		if _, ok := s.chunkSize[h]; ok {
+			continue
+		}
+		os.Remove(s.chunkPath(h))
+	}
 }
+
+// spillTestHook, when set, runs between a Spill's off-lock chunk publish
+// and its commit — a seam for tests that need a deterministic concurrent
+// Delete in that window.
+var spillTestHook func()
 
 // Spill demotes state to disk under the given service id: chunks are
 // written (deduplicating against everything already resident), then the
@@ -405,20 +520,27 @@ func (s *Store) Spill(id uint64, state *snapshot.State) error {
 	if p := state.Parent(); p != nil {
 		parentAS = p.Mem()
 		s.mu.Lock()
-		parentHashes = s.pageHashes[p.ID()]
+		parentHashes = s.pageHashes[p.Seq()]
 		s.mu.Unlock()
 		if parentHashes == nil {
 			parentHashes = hashPages(parentAS)
 			s.mu.Lock()
-			s.cacheHashes(p.ID(), parentHashes)
+			s.cacheHashes(p.Seq(), parentHashes)
 			s.mu.Unlock()
 		}
 	}
 	myHashes := make(map[uint64]Hash)
-	var pending []pendingChunk
+	// chunks maps every chunk the manifest references to its payload. The
+	// payload aliases the state's own frame/block storage, which the
+	// caller's retained state keeps alive for the duration of the spill.
+	// Every referenced chunk keeps its payload — not only the ones absent
+	// from disk right now — so the commit can re-verify each one under the
+	// lock and rewrite any whose file a concurrent Delete GC'd between
+	// this walk and the commit.
+	chunks := make(map[Hash][]byte)
 	need := func(h Hash, data []byte) {
-		if !s.chunkKnown(h) {
-			pending = append(pending, pendingChunk{h: h, data: data})
+		if _, ok := chunks[h]; !ok {
+			chunks[h] = data
 		}
 	}
 	as.ForEachPage(func(addr uint64, f *mem.Frame) {
@@ -467,14 +589,23 @@ func (s *Store) Spill(id uint64, state *snapshot.State) error {
 	}
 
 	// Publish chunk payloads off-lock (content-addressed: concurrent
-	// duplicate writers are benign).
-	written := make(map[Hash]int64, len(pending))
-	for _, pc := range pending {
-		sz, err := s.writeChunkFile(pc.h, pc.data)
-		if err != nil {
+	// duplicate writers are benign). Chunks already resident skip the
+	// write here; every chunk is re-verified at commit regardless.
+	written := make(map[Hash]struct{}, len(chunks))
+	for h, data := range chunks {
+		if s.chunkKnown(h) {
+			continue
+		}
+		if _, err := s.writeChunkFile(h, data); err != nil {
+			s.mu.Lock()
+			s.discardWritten(written)
+			s.mu.Unlock()
 			return err
 		}
-		written[pc.h] = sz
+		written[h] = struct{}{}
+	}
+	if hook := spillTestHook; hook != nil {
+		hook()
 	}
 
 	// Commit: log record and tables move together, so replay order can
@@ -482,35 +613,51 @@ func (s *Store) Spill(id uint64, state *snapshot.State) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.discardWritten(written)
 		return ErrClosed
 	}
 	if _, ok := s.manifests[id]; ok {
 		return nil
 	}
-	for _, pc := range pending {
-		if _, ok := s.chunkSize[pc.h]; ok {
-			continue
+	// Re-verify every referenced chunk not pinned by a live manifest:
+	// between the off-lock walk and this commit its last reference may
+	// have died and a concurrent Delete GC'd the file — including chunks
+	// this spill never wrote because they were resident at walk time.
+	// writeChunkFile stats first, so an intact file costs one stat and a
+	// missing one is rewritten. Delete also holds s.mu, so a chunk
+	// verified here stays pinned once accounted below. `sized` tracks
+	// accounting added for this manifest so a failed commit can undo it.
+	var sized []Hash
+	rollback := func() {
+		for _, h := range sized {
+			s.coldBytes -= s.chunkSize[h]
+			delete(s.chunkSize, h)
 		}
-		sz, ok := written[pc.h]
-		if _, err := os.Stat(s.chunkPath(pc.h)); err != nil || !ok {
-			// A concurrent Delete GC'd the file between our off-lock
-			// write and this commit (its last reference died in the
-			// window). Restore it under the lock — Delete also holds
-			// s.mu, so once accounted below it stays pinned.
-			var werr error
-			if sz, werr = s.writeChunkFile(pc.h, pc.data); werr != nil {
-				return werr
-			}
+		s.discardWritten(written)
+	}
+	for h, data := range chunks {
+		if s.chunkRefs[h] > 0 {
+			continue // another live manifest pins it while we hold s.mu
 		}
-		s.chunkSize[pc.h] = sz
-		s.coldBytes += sz
+		sz, err := s.writeChunkFile(h, data)
+		if err != nil {
+			rollback()
+			return err
+		}
+		written[h] = struct{}{}
+		if _, ok := s.chunkSize[h]; !ok {
+			s.chunkSize[h] = sz
+			s.coldBytes += sz
+			sized = append(sized, h)
+		}
 	}
 	if err := s.appendRecord(opPut, payload); err != nil {
+		rollback()
 		return err
 	}
 	s.manifests[id] = m
 	s.accountManifest(m, +1)
-	s.cacheHashes(state.ID(), myHashes)
+	s.cacheHashes(state.Seq(), myHashes)
 	return nil
 }
 
@@ -556,7 +703,10 @@ func (s *Store) Load(id uint64, alloc *mem.FrameAllocator) (*snapshot.Context, i
 		return fail(err)
 	}
 	for _, fr := range m.Files {
-		buf := make([]byte, int64(len(fr.Blocks))*chunkSize)
+		// Rebuild block-by-block via ImportFile so holes stay holes: a
+		// sparse file reloads at its resident footprint, never as a
+		// logical-size buffer of materialized zero blocks.
+		img := fs.FileImage{Path: fr.Path, Size: fr.Size, Blocks: make([]*[fs.BlockSize]byte, len(fr.Blocks))}
 		for i, b := range fr.Blocks {
 			if !b.Present {
 				continue
@@ -565,9 +715,9 @@ func (s *Store) Load(id uint64, alloc *mem.FrameAllocator) (*snapshot.Context, i
 			if err != nil {
 				return failFS(fmt.Errorf("store: load %d: %s block %d: %w", id, fr.Path, i, err))
 			}
-			copy(buf[int64(i)*chunkSize:], data)
+			img.Blocks[i] = (*[fs.BlockSize]byte)(data)
 		}
-		if err := fsys.WriteFile(fr.Path, buf[:fr.Size]); err != nil {
+		if err := fsys.ImportFile(img); err != nil {
 			return failFS(fmt.Errorf("store: load %d: %s: %w", id, fr.Path, err))
 		}
 	}
@@ -611,7 +761,7 @@ func (s *Store) Delete(id uint64) error {
 	if !ok {
 		return nil
 	}
-	payload := make([]byte, delPayload)
+	payload := make([]byte, u64Payload)
 	binary.LittleEndian.PutUint64(payload, id)
 	if err := s.appendRecord(opDelete, payload); err != nil {
 		return err
@@ -633,18 +783,47 @@ func (s *Store) IDs() []uint64 {
 	return out
 }
 
-// MaxID returns the largest demoted id (0 when empty) — the floor a
-// restarted service must start issuing fresh ids above.
+// MaxID returns the largest id known to have been issued against this
+// store (0 when empty and unmarked): the max over resident manifests and
+// the durable id high-water mark (ReserveIDs) — the floor a restarted
+// service must start issuing fresh ids above. The mark matters for ids
+// that left no manifest behind (their spill failed, or they were released
+// before demotion): without it a restarted service would re-issue such an
+// id, and a client still holding it would silently get answers for a
+// different problem.
 func (s *Store) MaxID() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var max uint64
+	max := s.idMark
 	for id := range s.manifests {
 		if id > max {
 			max = id
 		}
 	}
 	return max
+}
+
+// ReserveIDs durably records that service ids up to and including upTo
+// may have been issued, raising the high-water mark MaxID reports after a
+// restart. Monotonic and idempotent: a mark at or below the current one
+// appends nothing. Each raise costs one fsynced log record, so callers
+// batch (the service reserves ~a thousand ids per call).
+func (s *Store) ReserveIDs(upTo uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if upTo <= s.idMark {
+		return nil
+	}
+	payload := make([]byte, u64Payload)
+	binary.LittleEndian.PutUint64(payload, upTo)
+	if err := s.appendRecord(opIDMark, payload); err != nil {
+		return err
+	}
+	s.idMark = upTo
+	return nil
 }
 
 // Stats summarizes the cold tier.

@@ -266,6 +266,234 @@ func TestDeleteGarbageCollectsChunks(t *testing.T) {
 	}
 }
 
+// TestPageHashCacheNotReusedAcrossTrees guards the page-hash cache's key:
+// the store outlives a service, and a successor service's snapshot tree
+// reuses tree-local ids 1,2,3..., so the cache must key on the process-
+// global state sequence, never the tree id. With an id-keyed cache, the
+// second tree's child spill below would look up the FIRST tree's hashes,
+// record the old content's hash for an unchanged-since-fork page, and a
+// later Load would silently reconstruct the old bytes.
+func TestPageHashCacheNotReusedAcrossTrees(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	alloc := mem.NewFrameAllocator(0)
+	const addr = 0x1000
+
+	// build captures a parent whose one resident page holds v, plus a
+	// child that leaves the page untouched (frame shared with the parent,
+	// the dirty-walk's "reuse the parent's hash" signal). Each call uses a
+	// fresh tree, so the parents of successive calls share tree-local ids.
+	build := func(v uint64) (*snapshot.Tree, *snapshot.State, *snapshot.State) {
+		as := mem.NewAddressSpace(alloc)
+		if err := as.Map(addr, 4*mem.PageSize, mem.PermRead|mem.PermWrite, "heap"); err != nil {
+			t.Fatal(err)
+		}
+		mustWriteU64(t, as, addr, v)
+		tree := snapshot.NewTree()
+		ctx := &snapshot.Context{Mem: as, FS: fs.New()}
+		parent := tree.Capture(ctx, nil)
+		ctx.Release()
+		cctx := parent.Restore()
+		child := tree.Capture(cctx, parent)
+		cctx.Release()
+		return tree, parent, child
+	}
+
+	treeA, pA, cA := build(0xAAAA)
+	if pA.ID() != 1 {
+		t.Fatalf("tree A parent id = %d, want 1", pA.ID())
+	}
+	// Spilling the first tree's parent populates the hash cache for it.
+	if err := s.Spill(1, pA); err != nil {
+		t.Fatal(err)
+	}
+
+	treeB, pB, cB := build(0xBBBB)
+	if pB.ID() != pA.ID() {
+		t.Fatalf("tree-local ids diverged: %d vs %d", pB.ID(), pA.ID())
+	}
+	// Spill the second tree's child WITHOUT spilling its parent: the walk
+	// consults the parent-hash cache, where a tree-id key would now hit
+	// the first tree's stale entry.
+	if err := s.Spill(2, cB); err != nil {
+		t.Fatal(err)
+	}
+	ctx, _, err := s.Load(2, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ctx.Mem.ReadU64(addr); err != nil || v != 0xBBBB {
+		t.Fatalf("reloaded page = %#x, %v; want %#x (stale cross-tree hash cache)", v, err, 0xBBBB)
+	}
+	ctx.Release()
+
+	for _, st := range []*snapshot.State{cA, pA, cB, pB} {
+		st.Release()
+	}
+	if treeA.Live() != 0 || treeB.Live() != 0 {
+		t.Fatalf("leak: %d + %d snapshots live", treeA.Live(), treeB.Live())
+	}
+}
+
+// TestSpillSurvivesDeleteOfSharedChunkMidFlight pins the commit-time
+// re-verify: a chunk that was resident at walk time (so the spill never
+// wrote it) can lose its last reference to a concurrent Delete before the
+// spill commits — the GC removes the file, and without the re-verify the
+// committed manifest would reference a chunk that no longer exists,
+// breaking every future Load of the id.
+func TestSpillSurvivesDeleteOfSharedChunkMidFlight(t *testing.T) {
+	content := bytes.Repeat([]byte{7}, chunkSize)
+	mkState := func() (*snapshot.Tree, *mem.FrameAllocator, *snapshot.State) {
+		return buildState(t, func(ctx *snapshot.Context) {
+			if err := ctx.FS.WriteFile("/shared", content); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	tree1, _, st1 := mkState()
+	tree2, alloc2, st2 := mkState()
+	defer func() {
+		st1.Release()
+		st2.Release()
+		if tree1.Live() != 0 || tree2.Live() != 0 {
+			t.Errorf("leak: %d + %d snapshots live", tree1.Live(), tree2.Live())
+		}
+	}()
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(1, st1); err != nil {
+		t.Fatal(err)
+	}
+	// Between Spill(2)'s walk (which sees the shared chunk resident and
+	// skips writing it) and its commit, drop the only manifest pinning
+	// that chunk: the GC removes the chunk file.
+	spillTestHook = func() {
+		if err := s.Delete(1); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { spillTestHook = nil }()
+	if err := s.Spill(2, st2); err != nil {
+		t.Fatal(err)
+	}
+	spillTestHook = nil
+
+	ctx, _, err := s.Load(2, alloc2)
+	if err != nil {
+		t.Fatalf("load after mid-flight delete of shared chunk: %v", err)
+	}
+	defer ctx.Release()
+	if data, err := ctx.FS.ReadFile("/shared"); err != nil || !bytes.Equal(data, content) {
+		t.Fatalf("/shared: %d bytes, %v", len(data), err)
+	}
+}
+
+// TestOpenSweepsOrphanChunks plants an unreferenced chunk file and a
+// stray publish temp file (the debris a crashed mid-spill process leaves)
+// and verifies a fresh Open removes both while keeping referenced chunks.
+func TestOpenSweepsOrphanChunks(t *testing.T) {
+	dir := t.TempDir()
+	refContent := bytes.Repeat([]byte{9}, chunkSize)
+	tree, alloc, st := buildState(t, func(ctx *snapshot.Context) {
+		if err := ctx.FS.WriteFile("/f", refContent); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer func() { st.Release(); _ = tree }()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(1, st); err != nil {
+		t.Fatal(err)
+	}
+	refPath := s.chunkPath(Hash(sha256.Sum256(refContent)))
+	orphanPath := s.chunkPath(Hash(sha256.Sum256([]byte("never committed"))))
+	s.Close()
+
+	if err := os.MkdirAll(filepath.Dir(orphanPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphanPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpPath := filepath.Join(filepath.Dir(orphanPath), ".chunk-1234567")
+	if err := os.WriteFile(tmpPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(orphanPath); !os.IsNotExist(err) {
+		t.Errorf("orphan chunk survived Open sweep: %v", err)
+	}
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Errorf("publish temp file survived Open sweep: %v", err)
+	}
+	if _, err := os.Stat(refPath); err != nil {
+		t.Errorf("referenced chunk swept: %v", err)
+	}
+	ctx, _, err := s2.Load(1, alloc)
+	if err != nil {
+		t.Fatalf("load after sweep: %v", err)
+	}
+	defer ctx.Release()
+	if data, err := ctx.FS.ReadFile("/f"); err != nil || !bytes.Equal(data, refContent) {
+		t.Fatalf("/f after sweep: %d bytes, %v", len(data), err)
+	}
+}
+
+// TestReserveIDsRaisesMaxIDAcrossReopen: the durable id high-water mark
+// is monotonic, survives a replay, and folds into MaxID alongside
+// manifest ids.
+func TestReserveIDsRaisesMaxIDAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxID(); got != 0 {
+		t.Fatalf("fresh store MaxID = %d", got)
+	}
+	if err := s.ReserveIDs(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReserveIDs(50); err != nil { // below the mark: no-op
+		t.Fatal(err)
+	}
+	if got := s.MaxID(); got != 100 {
+		t.Fatalf("MaxID after ReserveIDs(100) = %d", got)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.MaxID(); got != 100 {
+		t.Fatalf("MaxID after replay = %d, want 100 (mark lost)", got)
+	}
+	tree, _, st := buildState(t, nil)
+	defer func() { st.Release(); _ = tree }()
+	if err := s2.Spill(200, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.MaxID(); got != 200 {
+		t.Fatalf("MaxID with manifest above mark = %d, want 200", got)
+	}
+}
+
 // TestSpillIdempotent re-spilling a resident id is a no-op.
 func TestSpillIdempotent(t *testing.T) {
 	tree, _, st := buildState(t, nil)
@@ -396,6 +624,70 @@ func TestCorruptChunkFailsLoad(t *testing.T) {
 	}
 	if _, _, err := s.Load(8, alloc); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("Load with damaged chunk = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSparseFileRoundTrip spills a file with a hole (guest Seek past the
+// end, then Write): the reload must keep the hole — resident footprint
+// stays O(written blocks), not O(logical size) — and the rebuilt image's
+// ContentHash must match the manifest's recorded FSHash.
+func TestSparseFileRoundTrip(t *testing.T) {
+	const holeBlocks = 64
+	tree, alloc, st := buildState(t, func(ctx *snapshot.Context) {
+		fd, err := ctx.FS.Open("/sparse", fs.OWrOnly|fs.OCreate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.FS.Seek(fd, holeBlocks*fs.BlockSize, fs.SeekSet); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.FS.Write(fd, []byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer func() { st.Release(); _ = tree }()
+	wantHash := st.FS().ContentHash()
+	priv, shared := st.FS().Footprint()
+	wantResident := priv + shared
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Spill(1, st); err != nil {
+		t.Fatal(err)
+	}
+	ctx, _, err := s.Load(1, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	sz, err := ctx.FS.Stat("/sparse")
+	if err != nil || sz != holeBlocks*fs.BlockSize+4 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	sn := ctx.FS.Snapshot()
+	defer sn.Release()
+	if got := sn.ContentHash(); got != wantHash {
+		t.Error("reloaded sparse image hash differs from spilled image")
+	}
+	gotPriv, gotShared := sn.Footprint()
+	if got := gotPriv + gotShared; got != wantResident {
+		t.Errorf("reloaded resident bytes = %d, want %d (holes materialized?)", got, wantResident)
+	}
+	// The hole still reads as zeroes and the tail survived.
+	data, err := ctx.FS.ReadFile("/sparse")
+	if err != nil || len(data) != holeBlocks*fs.BlockSize+4 {
+		t.Fatalf("read: %d bytes, %v", len(data), err)
+	}
+	for i := 0; i < holeBlocks*fs.BlockSize; i++ {
+		if data[i] != 0 {
+			t.Fatalf("hole byte %d = %#x", i, data[i])
+		}
+	}
+	if string(data[holeBlocks*fs.BlockSize:]) != "tail" {
+		t.Fatalf("tail = %q", data[holeBlocks*fs.BlockSize:])
 	}
 }
 
