@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml) so a green `make check` locally predicts a
+# green pipeline.
+
+.PHONY: build test race lint bench-ci check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ .
+
+# lint runs reprolint, the repo's own go/analysis suite enforcing the
+# snapshot-lifecycle, lock-guard, TLB-flush, and fsync-ordering
+# invariants (see DESIGN.md "Static analysis & invariants"). Any
+# diagnostic is a hard failure.
+lint:
+	go run ./cmd/reprolint ./...
+
+# bench-ci emits the machine-readable quick-scale numbers CI archives
+# per commit: TLB locality (E11), work-stealing scaling (E12), and the
+# persistent store (E14).
+bench-ci:
+	go run ./cmd/snapbench -quick -e 11,12,14 -json BENCH_ci.json
+
+check: build lint test race

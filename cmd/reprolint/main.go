@@ -1,0 +1,43 @@
+// Command reprolint runs the project's static invariant checkers over
+// the module:
+//
+//	go run ./cmd/reprolint ./...
+//
+// Exit status 0 means the tree upholds every checked invariant, 1 means
+// findings were printed, 2 means the loader or an analyzer failed. CI
+// runs this as a hard gate; see DESIGN.md "Static analysis &
+// invariants" for the annotation grammar the checkers understand.
+//
+// Build with -tags reprolint_xtools (requires a populated module cache
+// for golang.org/x/tools) to also run the standard nilness, lostcancel,
+// copylocks and unusedwrite analyzers.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/flushcheck"
+	"repro/internal/analysis/fsyncorder"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/releasecheck"
+	"repro/internal/analysis/reprolint"
+)
+
+func main() {
+	analyzers := []*reprolint.Analyzer{
+		releasecheck.Analyzer,
+		lockguard.Analyzer,
+		flushcheck.Analyzer,
+		fsyncorder.Analyzer,
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		os.Stderr.WriteString("reprolint: " + err.Error() + "\n")
+		os.Exit(2)
+	}
+	code := reprolint.Main(os.Stdout, os.Stderr, dir, analyzers, os.Args[1:])
+	if code == 0 {
+		code = runExtra(dir, os.Args[1:])
+	}
+	os.Exit(code)
+}

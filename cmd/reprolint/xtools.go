@@ -1,0 +1,42 @@
+//go:build reprolint_xtools
+
+package main
+
+// With the reprolint_xtools tag, reprolint also runs the four standard
+// go/analysis checkers most relevant to this codebase's bug classes:
+// nilness (nil-pointer flows), lostcancel (leaked context cancels),
+// copylocks (mutexes copied by value) and unusedwrite (dead stores to
+// struct fields). They need golang.org/x/tools in the module cache —
+// the offline CI image does not have it, so they are gated behind this
+// tag rather than stubbed at runtime.
+
+import (
+	"os"
+
+	"golang.org/x/tools/go/analysis/multichecker"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilness"
+	"golang.org/x/tools/go/analysis/passes/unusedwrite"
+)
+
+// runExtra hands the remaining work to x/tools' multichecker, which
+// resolves each analyzer's Requires graph (buildssa, ctrlflow, inspect)
+// and exits with its own status — it does not return.
+func runExtra(dir string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := os.Chdir(dir); err != nil {
+		os.Stderr.WriteString("reprolint(xtools): " + err.Error() + "\n")
+		return 2
+	}
+	os.Args = append([]string{"reprolint"}, patterns...)
+	multichecker.Main(
+		nilness.Analyzer,
+		lostcancel.Analyzer,
+		copylock.Analyzer,
+		unusedwrite.Analyzer,
+	)
+	return 0 // unreachable
+}

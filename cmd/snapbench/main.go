@@ -3,23 +3,72 @@
 //
 // Usage:
 //
-//	snapbench            run every experiment at full scale
-//	snapbench -e 4       run one experiment
-//	snapbench -quick     small sizes (seconds instead of minutes)
-//	snapbench -list      print the experiment index
+//	snapbench                 run every experiment at full scale
+//	snapbench -e 4            run one experiment
+//	snapbench -e 11,12,14     run a comma-separated subset, in order
+//	snapbench -quick          small sizes (seconds instead of minutes)
+//	snapbench -json FILE      also write machine-readable results to FILE
+//	snapbench -list           print the experiment index
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
 )
+
+// jsonResult is the machine-readable run summary written by -json: enough
+// environment to interpret the numbers (CI archives these across commits)
+// plus each experiment's table verbatim.
+type jsonResult struct {
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      int        `json:"id"`
+	Name    string     `json:"name"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
+// parseIDs expands a comma-separated -e value ("11,12,14") into
+// experiments, preserving order. "0" or "" means all.
+func parseIDs(spec string) ([]bench.Experiment, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "0" {
+		return bench.All(), nil
+	}
+	var out []bench.Experiment
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad experiment id %q", part)
+		}
+		e, err := bench.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -27,9 +76,10 @@ func main() {
 	// First signal: finish the current experiment, skip the rest. Restore
 	// default handling so a second signal kills immediately.
 	go func() { <-ctx.Done(); stop() }()
-	id := flag.Int("e", 0, "experiment id (1-14); 0 runs all")
+	ids := flag.String("e", "", "experiment ids (1-14), comma-separated; empty or 0 runs all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	if *list {
@@ -40,17 +90,19 @@ func main() {
 		return
 	}
 
+	toRun, err := parseIDs(*ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	opts := bench.Options{Quick: *quick}
-	var toRun []bench.Experiment
-	if *id == 0 {
-		toRun = bench.All()
-	} else {
-		e, err := bench.ByID(*id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		toRun = []bench.Experiment{e}
+	result := jsonResult{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
 	}
 
 	for _, e := range toRun {
@@ -64,8 +116,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "E%d (%s): %v\n", e.ID, e.Name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Printf("# E%d — %s\n", e.ID, e.Claim)
 		fmt.Println(tb.Render())
-		fmt.Printf("(completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(completed in %s)\n\n", elapsed.Round(time.Millisecond))
+		result.Experiments = append(result.Experiments, jsonExperiment{
+			ID:      e.ID,
+			Name:    e.Name,
+			Claim:   e.Claim,
+			Columns: tb.Columns,
+			Rows:    tb.Rows,
+			Seconds: elapsed.Seconds(),
+		})
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(result.Experiments))
 	}
 }

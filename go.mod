@@ -1,3 +1,5 @@
 module repro
 
 go 1.24
+
+require golang.org/x/tools v0.24.0 // reprolint_xtools-gated standard analyzers

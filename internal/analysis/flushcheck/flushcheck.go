@@ -1,0 +1,138 @@
+// Package flushcheck implements reprolint's TLB-invalidation checker.
+// Functions annotated `// sharing_boundary` change page-sharing
+// relationships (fork, unmap, protect, heap shrink, release, CoW
+// resolution): stale translations cached past them read or write pages
+// the address space no longer owns. The check: every success path
+// through a sharing_boundary function must pass a TLB invalidation —
+// a call whose method name is flush/flushWrite, or a call to a function
+// annotated `// flushes_tlb` (or itself sharing_boundary, which must
+// flush by induction).
+//
+// Error paths are exempt: a return whose error-result expression is
+// non-nil abandoned the operation before the sharing change took
+// effect. Implicit end-of-body returns and naked returns count as
+// successes (strict). Deferred flushes discharge every exit after them.
+package flushcheck
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/astcfg"
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the flushcheck analyzer.
+var Analyzer = &reprolint.Analyzer{
+	Name: "flushcheck",
+	Doc:  "sharing_boundary functions must invalidate the TLB on every success path",
+	Run:  run,
+}
+
+// flushMethodNames are method/function names whose call is itself a TLB
+// invalidation.
+var flushMethodNames = map[string]bool{
+	"flush":      true,
+	"flushWrite": true,
+}
+
+func run(pass *reprolint.Pass) error {
+	decls := reprolint.FuncDeclMap(pass)
+	// anns caches the annotation of every declared function so callee
+	// resolution is O(1) inside the flush predicate.
+	anns := map[*ast.FuncDecl]reprolint.FuncAnn{}
+	for _, fd := range decls {
+		anns[fd] = reprolint.FuncAnnotation(fd)
+	}
+
+	isFlush := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if flushMethodNames[fun.Name] {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if flushMethodNames[fun.Sel.Name] {
+				return true
+			}
+		}
+		if fn := reprolint.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				a := anns[fd]
+				return a.FlushesTLB || a.SharingBoundary
+			}
+		}
+		return false
+	}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !reprolint.FuncAnnotation(fd).SharingBoundary {
+				continue
+			}
+			checkBoundary(pass, fd, isFlush)
+		}
+	}
+	return nil
+}
+
+func checkBoundary(pass *reprolint.Pass, fd *ast.FuncDecl, isFlush func(ast.Node) bool) {
+	graph := astcfg.Build(fd.Body)
+	for _, d := range graph.Defers {
+		flushed := false
+		ast.Inspect(d, func(n ast.Node) bool {
+			if flushed {
+				return false
+			}
+			if isFlush(n) {
+				flushed = true
+			}
+			return !flushed
+		})
+		if flushed {
+			return // a deferred flush covers every exit
+		}
+	}
+	var sig = reprolint.ScopeSignature(pass.TypesInfo, reprolint.FuncScope{Decl: fd, Body: fd.Body})
+	bad := func(n ast.Node) bool {
+		if n == nil {
+			return true // implicit end-of-body return: a success exit
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return false
+		}
+		return reprolint.SuccessReturn(ret, sig)
+	}
+	stop := func(n ast.Node) bool {
+		// Only a call node itself flushes; expressions containing a
+		// flush call deeper are found because PathTo tests every node.
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if isFlush(m) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if leak, ok := graph.PathTo(nil, bad, stop); ok {
+		where := "the end of the function"
+		if ret, isRet := leak.(*ast.ReturnStmt); isRet && ret != nil {
+			where = pass.Fset.Position(ret.Pos()).String()
+		}
+		pass.Reportf(fd.Pos(),
+			"sharing_boundary function %s has a success path (reaching %s) with no TLB invalidation",
+			fd.Name.Name, where)
+	}
+}

@@ -1,0 +1,12 @@
+package flushcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/flushcheck"
+)
+
+func TestFlushcheck(t *testing.T) {
+	antest.Run(t, "../testdata", flushcheck.Analyzer, "flushtest")
+}

@@ -1,0 +1,355 @@
+// Package fsyncorder implements reprolint's durability-ordering checker
+// for the persistent snapshot store. The store's crash-safety argument
+// is an ordering argument: a chunk file must be durable (fsync'd, and
+// its directory entry fsync'd) before the manifest log references it,
+// and the log append must itself be synced before the operation reports
+// success. A publish (rename, create, O_CREATE open, mkdir, file write)
+// that reaches a manifest-log append or a success return with no
+// intervening sync is a torn-crash window.
+//
+// Three checks per function (package internal/store by default, via the
+// driver's DirFilter):
+//
+//  1. publish → appendRecord with no Sync/syncDir between: the log
+//     would reference a chunk that a crash can erase.
+//  2. publish → success return with no Sync/syncDir between: the caller
+//     is told the data is durable when it is not.
+//  3. a `.Sync()` or `.Close()` call on an *os.File whose error result
+//     is discarded on a write path: the one error that reports a failed
+//     write-back is thrown away. Deferred Close on read-only files
+//     (from os.Open) is the accepted idiom and not flagged.
+//
+// Calls to functions annotated `// durable: publishes-synced` (e.g. a
+// helper that writes, syncs, renames and syncs the directory
+// internally) are treated as already-durable publishes.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/astcfg"
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the fsyncorder analyzer.
+var Analyzer = &reprolint.Analyzer{
+	Name:      "fsyncorder",
+	Doc:       "chunk/manifest publishes must be fsync'd before the log references them",
+	DirFilter: []string{"internal/store"},
+	Run:       run,
+}
+
+// publishNames are os-package calls that create or move directory
+// entries or write file contents.
+var publishNames = map[string]bool{
+	"Rename":     true,
+	"Create":     true,
+	"CreateTemp": true,
+	"MkdirAll":   true,
+	"Mkdir":      true,
+}
+
+// commitNames are the manifest-log append entry points: once one of
+// these runs, the log references whatever was published before it.
+var commitNames = map[string]bool{
+	"appendRecord": true,
+}
+
+func run(pass *reprolint.Pass) error {
+	decls := reprolint.FuncDeclMap(pass)
+	anns := map[*ast.FuncDecl]reprolint.FuncAnn{}
+	for _, fd := range decls {
+		anns[fd] = reprolint.FuncAnnotation(fd)
+	}
+
+	durableCall := func(call *ast.CallExpr) bool {
+		if fn := reprolint.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return anns[fd].DurablePublish
+			}
+		}
+		return false
+	}
+
+	for _, file := range pass.Files {
+		for _, scope := range reprolint.FuncScopes(file) {
+			checkOrdering(pass, scope, durableCall)
+			checkDiscardedSync(pass, scope)
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare selector/ident name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isOSCall reports whether call is os.<name> for a name in set.
+func isOSCall(info *types.Info, call *ast.CallExpr, set map[string]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !set[sel.Sel.Name] {
+		return false
+	}
+	fn := reprolint.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+}
+
+// isFileWrite reports whether call is a Write/WriteString/WriteAt on an
+// *os.File — content publishes that need a Sync before commit.
+func isFileWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return false
+	}
+	return isOSFile(info, sel.X)
+}
+
+// isOSFile reports whether e's type is *os.File.
+func isOSFile(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+// isOpenFileCreate reports whether call is os.OpenFile(..., flags, ...)
+// with O_CREATE in the (syntactic) flag expression.
+func isOpenFileCreate(info *types.Info, call *ast.CallExpr) bool {
+	if !isOSCall(info, call, map[string]bool{"OpenFile": true}) {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	has := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_CREATE" {
+			has = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "O_CREATE" {
+			has = true
+		}
+		return !has
+	})
+	return has
+}
+
+// checkOrdering runs the two path queries: publish→commit and
+// publish→success-return, each demanding an intervening sync.
+func checkOrdering(pass *reprolint.Pass, scope reprolint.FuncScope, durableCall func(*ast.CallExpr) bool) {
+	type publish struct {
+		node ast.Node
+		what string
+	}
+	var publishes []publish
+
+	isPublishCall := func(call *ast.CallExpr) (string, bool) {
+		if durableCall(call) {
+			return "", false // internally synced
+		}
+		if isOSCall(pass.TypesInfo, call, publishNames) {
+			return "os." + calleeName(call), true
+		}
+		if isOpenFileCreate(pass.TypesInfo, call) {
+			return "os.OpenFile(O_CREATE)", true
+		}
+		if isFileWrite(pass.TypesInfo, call) {
+			return "file " + calleeName(call), true
+		}
+		return "", false
+	}
+
+	reprolint.InspectShallow(scope.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if what, ok := isPublishCall(call); ok {
+			publishes = append(publishes, publish{node: call, what: what})
+		}
+		return true
+	})
+	if len(publishes) == 0 {
+		return
+	}
+
+	graph := astcfg.Build(scope.Body)
+	sig := reprolint.ScopeSignature(pass.TypesInfo, scope)
+
+	isSync := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if name == "Sync" || name == "syncDir" {
+				found = true
+				return false
+			}
+			if durableCall(call) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, p := range publishes {
+		// Check 1: publish reaches a manifest-log commit unsynced. The
+		// commit call may be nested in the statement node (if-init,
+		// return expression), so search the whole node.
+		badCommit := func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok && commitNames[calleeName(call)] {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+		if hit, ok := graph.PathTo(p.node, badCommit, isSync); ok {
+			pass.Reportf(p.node.Pos(),
+				"%s reaches the manifest-log append at %s with no Sync/syncDir between: a crash can leave the log referencing unsynced data",
+				p.what, pass.Fset.Position(hit.Pos()))
+			continue // one report per publish site
+		}
+		// Check 2: publish reaches a success return unsynced.
+		badSuccess := func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return false
+			}
+			return reprolint.SuccessReturn(ret, sig)
+		}
+		if hit, ok := graph.PathTo(p.node, badSuccess, isSync); ok {
+			where := "the end of the function"
+			if ret, isRet := hit.(*ast.ReturnStmt); isRet && ret != nil {
+				where = pass.Fset.Position(ret.Pos()).String()
+			}
+			pass.Reportf(p.node.Pos(),
+				"%s reaches a success return (%s) with no Sync/syncDir between: durability is reported before it exists",
+				p.what, where)
+		}
+	}
+}
+
+// checkDiscardedSync flags `.Sync()` / `.Close()` calls on *os.File
+// whose error is discarded — as a bare ExprStmt or `_ =` — on write
+// paths. A deferred Close is exempt (the non-deferred Close before the
+// rename is the one whose error matters, and the store keeps that
+// pattern); so is any discard inside a block that ends by returning a
+// non-nil error (cleanup-after-failure, where the original error wins).
+func checkDiscardedSync(pass *reprolint.Pass, scope reprolint.FuncScope) {
+	var check func(stmts []ast.Stmt, inFailureBlock bool)
+	discardedCall := func(s ast.Stmt) *ast.CallExpr {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				return call
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+						return call
+					}
+				}
+			}
+		}
+		return nil
+	}
+	check = func(stmts []ast.Stmt, inFailureBlock bool) {
+		// A block whose last statement returns a non-nil error is a
+		// cleanup path: discards there lose to the original error.
+		failure := inFailureBlock
+		if n := len(stmts); n > 0 {
+			if ret, ok := stmts[n-1].(*ast.ReturnStmt); ok {
+				sig := reprolint.ScopeSignature(pass.TypesInfo, scope)
+				if sig != nil && !reprolint.SuccessReturn(ret, sig) {
+					failure = true
+				}
+			}
+		}
+		for _, s := range stmts {
+			if call := discardedCall(s); call != nil && !failure {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					name := sel.Sel.Name
+					if (name == "Sync" || name == "Close") && isOSFile(pass.TypesInfo, sel.X) {
+						pass.Reportf(s.Pos(),
+							"error from %s.%s() is discarded on a write path: a failed write-back would go unnoticed",
+							reprolint.ExprString(pass.Fset, sel.X), name)
+					}
+				}
+			}
+			// Recurse into nested blocks, skipping defers and FuncLits.
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				check(s.List, failure)
+			case *ast.IfStmt:
+				check(s.Body.List, failure)
+				if blk, ok := s.Else.(*ast.BlockStmt); ok {
+					check(blk.List, failure)
+				} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+					check([]ast.Stmt{elif}, failure)
+				}
+			case *ast.ForStmt:
+				check(s.Body.List, failure)
+			case *ast.RangeStmt:
+				check(s.Body.List, failure)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						check(cc.Body, failure)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						check(cc.Body, failure)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						check(cc.Body, failure)
+					}
+				}
+			case *ast.LabeledStmt:
+				check([]ast.Stmt{s.Stmt}, failure)
+			}
+		}
+	}
+	check(scope.Body.List, false)
+}

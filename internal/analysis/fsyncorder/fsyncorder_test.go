@@ -1,0 +1,12 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	antest.Run(t, "../testdata", fsyncorder.Analyzer, "fsynctest")
+}

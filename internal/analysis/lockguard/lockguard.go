@@ -1,0 +1,259 @@
+// Package lockguard implements reprolint's `guarded_by` annotation
+// checker. A struct field annotated `// guarded_by: mu` names a sibling
+// mutex field; every read or write of the annotated field must occur
+// either
+//
+//   - in a function annotated `// locks_held: mu` (the caller contract
+//     — used for helpers documented "callers hold sh.mu"), or
+//   - at a program point where the mutex is held on every incoming
+//     control-flow path: a `base.mu.Lock()` / `base.mu.RLock()` on the
+//     same base expression, with no later non-deferred Unlock/RUnlock
+//     on that path.
+//
+// Held-state is tracked path-sensitively over the function's CFG, so
+// the common `if err { sh.mu.Unlock(); return err }` early-exit does
+// not poison the fall-through path. Matching is syntactic per base
+// expression (`sh.mu.Lock()` guards `sh.entries` because both bases
+// print as "sh"), deferred unlocks never clear held state, and function
+// literals are independent scopes — except that a literal inherits the
+// locks_held contract of the declaration it is defined in, for the
+// synchronous-callback idiom (a literal that escapes to a goroutine
+// from a locks_held function evades this; syntactic lock state still
+// never crosses into a literal). This catches the real bug class — a
+// new code path touching a sharded map without taking the shard lock —
+// without attempting whole-program alias analysis. Accesses whose guard
+// the checker cannot see (a lock taken under a different name for the
+// same object, single-threaded constructors) are silenced with
+// `//lint:ignore lockguard <reason>`.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/astcfg"
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &reprolint.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated guarded_by must be accessed with their mutex held",
+	Run:  run,
+}
+
+func run(pass *reprolint.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, scope := range reprolint.FuncScopes(file) {
+			checkScope(pass, scope, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field's types.Var to the mutex field
+// names guarding it.
+func collectGuards(pass *reprolint.Pass) map[*types.Var][]string {
+	out := map[*types.Var][]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				names := reprolint.FieldGuards(f)
+				if len(names) == 0 {
+					continue
+				}
+				for _, id := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						out[v] = names
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockEvent is one syntactic mutex transition inside a scope.
+type lockEvent struct {
+	pos      token.Pos
+	base     string // printed base expression owning the mutex
+	mu       string // mutex field name
+	acquire  bool   // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+// access is one read/write of a guarded field.
+type access struct {
+	sel  *ast.SelectorExpr
+	base string
+	mus  []string
+}
+
+func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope, guards map[*types.Var][]string) {
+	contract := map[string]bool{} // locks_held: mutex held for any base
+	for _, fd := range []*ast.FuncDecl{scope.Decl, scope.Encl} {
+		if fd == nil {
+			continue
+		}
+		for _, mu := range reprolint.FuncAnnotation(fd).LocksHeld {
+			contract[mu] = true
+		}
+	}
+
+	var accesses []access
+	reprolint.InspectShallow(scope.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		if mus, guarded := guards[v]; guarded {
+			accesses = append(accesses, access{
+				sel:  sel,
+				base: reprolint.ExprString(pass.Fset, sel.X),
+				mus:  mus,
+			})
+		}
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+
+	events := collectLockEvents(pass, scope)
+	graph := astcfg.Build(scope.Body)
+
+	for _, a := range accesses {
+		ok := false
+		for _, mu := range a.mus {
+			if contract[mu] || alwaysHeldAt(graph, events, a.sel.Pos(), a.base, mu) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(a.sel.Pos(), "access to %s.%s (guarded_by: %s) without holding the mutex in %s",
+				a.base, a.sel.Sel.Name, a.mus[0], scope.Name())
+		}
+	}
+}
+
+// collectLockEvents finds every `<base>.<mu>.Lock()`-family call in the
+// scope, excluding nested function literals.
+func collectLockEvents(pass *reprolint.Pass, scope reprolint.FuncScope) []lockEvent {
+	var events []lockEvent
+	record := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			base:     reprolint.ExprString(pass.Fset, muSel.X),
+			mu:       muSel.Sel.Name,
+			acquire:  acquire,
+			deferred: deferred,
+		})
+	}
+	reprolint.InspectShallow(scope.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			record(n.Call, true)
+			return false // args of the deferred call can't lock anything here
+		case *ast.CallExpr:
+			record(n, false)
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// alwaysHeldAt reports whether base.mu is held at pos on every
+// control-flow path from function entry. Each CFG block is explored at
+// most once per incoming held-state (two states per block, so the walk
+// terminates); a path that reaches the access position with the mutex
+// not held refutes the claim. Deferred unlocks run at function exit and
+// never clear held state mid-body.
+func alwaysHeldAt(g *astcfg.Graph, events []lockEvent, pos token.Pos, base, mu string) bool {
+	// relevant returns the scope events for this base.mu inside [lo, hi].
+	relevant := func(lo, hi token.Pos) []lockEvent {
+		var out []lockEvent
+		for _, e := range events {
+			if e.pos >= lo && e.pos <= hi && e.base == base && e.mu == mu && !e.deferred {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	type key struct {
+		blk  *astcfg.Block
+		held bool
+	}
+	visited := map[key]bool{}
+	var walk func(blk *astcfg.Block, held bool) bool // true = unheld arrival found
+	walk = func(blk *astcfg.Block, held bool) bool {
+		k := key{blk, held}
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+		for _, n := range blk.Nodes {
+			lo, hi := n.Pos(), n.End()
+			if lo <= pos && pos <= hi {
+				// The access lives in this node: apply the node's events
+				// that precede it, then test.
+				h := held
+				for _, e := range relevant(lo, hi) {
+					if e.pos < pos {
+						h = e.acquire
+					}
+				}
+				if !h {
+					return true
+				}
+			}
+			for _, e := range relevant(lo, hi) {
+				held = e.acquire
+			}
+		}
+		if blk.Return != nil || blk.Panics || blk.Exit {
+			return false
+		}
+		for _, s := range blk.Succs {
+			if walk(s, held) {
+				return true
+			}
+		}
+		return false
+	}
+	return !walk(g.Entry, false)
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	antest.Run(t, "../testdata", lockguard.Analyzer, "locktest")
+}

@@ -1,0 +1,385 @@
+// Package releasecheck implements reprolint's ownership analyzer: a
+// flow-sensitive (per-function, CFG-based) check that every value
+// obtained from a snapshot/frame acquisition function reaches a Release
+// or an ownership transfer on every control-flow path — early
+// `return err` paths included.
+//
+// Acquisitions are calls to functions/methods on the acquisition name
+// list (Capture, CaptureAtDepth, Retain, Restore, Fork, Alloc, clone,
+// Materialize, Snapshot, Load, Get) whose first result is a pointer to a
+// struct — the shape of snapshot.State, snapshot.Context,
+// mem.AddressSpace, mem.Frame, fs.FS and fs.Snapshot handles. The
+// refcount arithmetic itself (N retains for N queue items) is runtime
+// business — the tree's Live counters and the -race suites own it; this
+// checker owns the structural property that no path simply forgets the
+// value.
+//
+// An obligation is discharged by, on every path to an exit:
+//   - a call to a releasing method on the value (Release, Close),
+//   - a transfer: the value passed as a call argument, placed in a
+//     composite literal, returned, assigned (ownership moves with the
+//     value), sent on a channel, address-taken, or captured by a
+//     function literal,
+//   - a deferred statement mentioning the value (defers run at every
+//     exit), or
+//   - the path being unreachable on success: returns inside an
+//     `if err != nil` guard of the acquisition's own error are exempt,
+//     as are returns that propagate that error.
+//
+// A deliberate hand-off the analyzer cannot see is silenced with
+// `//lint:ownership transferred <why>` on the acquisition line or the
+// line above. A discarded acquisition result (`tree.Capture(ctx, p)` as
+// a bare statement) is reported unconditionally; a bare `x.Retain()`
+// statement is the blessed refcount-bump idiom and is neither an
+// acquisition nor a discharge.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/astcfg"
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the releasecheck analyzer.
+var Analyzer = &reprolint.Analyzer{
+	Name: "releasecheck",
+	Doc:  "acquired snapshots/frames must be released or transferred on every path",
+	Run:  run,
+}
+
+// acqNames are the function/method names whose pointer-to-struct results
+// carry an ownership obligation.
+var acqNames = map[string]bool{
+	"Capture":        true,
+	"CaptureAtDepth": true,
+	"Retain":         true,
+	"Restore":        true,
+	"Fork":           true,
+	"Alloc":          true,
+	"clone":          true,
+	"Materialize":    true,
+	"Snapshot":       true,
+	"Load":           true,
+	"Get":            true,
+}
+
+// releaseNames are methods whose call on the value discharges it.
+var releaseNames = map[string]bool{
+	"Release": true,
+	"Close":   true,
+	"release": true,
+	"Free":    true,
+}
+
+func run(pass *reprolint.Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range reprolint.FuncScopes(file) {
+			checkScope(pass, scope)
+		}
+	}
+	return nil
+}
+
+type obligation struct {
+	varObj  types.Object // the local the acquired value is bound to
+	errObj  types.Object // the paired error result, if any
+	acqStmt ast.Stmt     // the statement performing the acquisition
+	callee  string       // acquisition name, for the message
+}
+
+func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
+	var graph *astcfg.Graph // built lazily: most functions acquire nothing
+	var obls []obligation
+
+	reprolint.InspectShallow(scope.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, acq := isAcquisition(pass.TypesInfo, call)
+			if !acq {
+				return true
+			}
+			lhs, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+			if !ok {
+				// Assignment into a field, map or slice element: the
+				// value is stored somewhere that outlives the function —
+				// a transfer, not a discard.
+				return true
+			}
+			if lhs.Name == "_" {
+				if name != "Retain" && hasReleaseMethod(pass.TypesInfo, call) {
+					pass.Reportf(n.Pos(), "result of %s is discarded; the acquired value can never be released", name)
+				}
+				return true
+			}
+			varObj := pass.TypesInfo.Defs[lhs]
+			if varObj == nil {
+				varObj = pass.TypesInfo.Uses[lhs]
+			}
+			if varObj == nil {
+				return true
+			}
+			var errObj types.Object
+			for _, l := range n.Lhs[1:] {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && reprolint.IsErrorType(obj.Type()) {
+						errObj = obj
+					}
+				}
+			}
+			obls = append(obls, obligation{varObj: varObj, errObj: errObj, acqStmt: n, callee: name})
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, acq := isAcquisition(pass.TypesInfo, call); acq && name != "Retain" && hasReleaseMethod(pass.TypesInfo, call) {
+				pass.Reportf(n.Pos(), "result of %s is discarded; the acquired value can never be released", name)
+			}
+		}
+		return true
+	})
+
+	if len(obls) == 0 {
+		return
+	}
+	graph = astcfg.Build(scope.Body)
+
+	for _, o := range obls {
+		if deferConsumes(graph, pass.TypesInfo, o.varObj) {
+			continue
+		}
+		exempt := reprolint.ErrGuardedNodes(scope.Body, pass.TypesInfo, o.errObj)
+		stop := func(n ast.Node) bool {
+			return consumes(pass.TypesInfo, n, o.varObj)
+		}
+		bad := func(n ast.Node) bool {
+			if n == nil {
+				return true // implicit end-of-body return
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return false
+			}
+			if exempt[ret] {
+				return false // the acquisition failed; nothing to release
+			}
+			if o.errObj != nil && mentionsObj(pass.TypesInfo, ret, o.errObj) {
+				return false // propagating the paired error
+			}
+			return true
+		}
+		if leak, ok := graph.PathTo(o.acqStmt, bad, stop); ok {
+			where := "the end of the function"
+			if ret, isRet := leak.(*ast.ReturnStmt); isRet && ret != nil {
+				where = pass.Fset.Position(ret.Pos()).String()
+			}
+			pass.Reportf(o.acqStmt.Pos(),
+				"%s obtained from %s is neither released nor transferred on the path reaching %s",
+				o.varObj.Name(), o.callee, where)
+		}
+	}
+}
+
+// isAcquisition reports whether call is an ownership-creating call: its
+// callee name is on the acquisition list and its first result is a
+// pointer to a struct type.
+func isAcquisition(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if !acqNames[name] {
+		return "", false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return "", false
+	}
+	first := tv.Type
+	if tuple, ok := first.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return "", false
+		}
+		first = tuple.At(0).Type()
+	}
+	ptr, ok := first.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	_, isStruct := ptr.Elem().Underlying().(*types.Struct)
+	return name, isStruct
+}
+
+// hasReleaseMethod reports whether the call's first result type has a
+// release-family method in its method set. Discard reports are gated on
+// it so that builder-style chaining APIs (every method returns the
+// receiver) are not mistaken for dropped acquisitions.
+func hasReleaseMethod(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if releaseNames[ms.At(i).Obj().Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// consumes reports whether executing node n discharges the obligation on
+// obj: a releasing method call, or any transfer of the value.
+func consumes(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	var walk func(node ast.Node)
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	walk = func(node ast.Node) {
+		if found || node == nil {
+			return
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			// x.Release() / x.Close(): releasing method on the value.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if releaseNames[sel.Sel.Name] && usesObj(sel.X) {
+					found = true
+					return
+				}
+			}
+			// The value as an argument to any call: transfer.
+			for _, arg := range x.Args {
+				if usesObj(arg) {
+					found = true
+					return
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if usesObj(v) {
+					found = true
+					return
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesObj(r) {
+					found = true
+					return
+				}
+			}
+		case *ast.AssignStmt:
+			// Ownership moves with the value: x on the RHS hands it to
+			// another owner; x on the LHS ends this binding's lifetime
+			// (the previous value must have been consumed before — the
+			// checker stops tracking rather than guessing).
+			for _, r := range x.Rhs {
+				if usesObj(r) {
+					found = true
+					return
+				}
+			}
+			for _, l := range x.Lhs {
+				if usesObj(l) {
+					found = true
+					return
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(x.Value) {
+				found = true
+				return
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && usesObj(x.X) {
+				found = true
+				return
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: the closure owns it now.
+			if mentionsObj(info, x.Body, obj) {
+				found = true
+			}
+			return // do not descend: inner uses were just accounted
+		}
+		// Generic descent.
+		switch node.(type) {
+		case ast.Expr, ast.Stmt:
+			ast.Inspect(node, func(m ast.Node) bool {
+				if found || m == nil {
+					return false
+				}
+				if m == node {
+					return true
+				}
+				walk(m)
+				return false
+			})
+		}
+	}
+	walk(n)
+	return found
+}
+
+// deferConsumes reports whether any defer in the graph mentions obj —
+// deferred cleanups run at every exit reached after them, and the
+// defer-at-acquisition idiom dominates this codebase.
+func deferConsumes(g *astcfg.Graph, info *types.Info, obj types.Object) bool {
+	for _, d := range g.Defers {
+		if mentionsObj(info, d, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObj reports whether any identifier under n resolves to obj.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

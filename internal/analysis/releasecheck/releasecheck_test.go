@@ -1,0 +1,12 @@
+package releasecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/releasecheck"
+)
+
+func TestReleasecheck(t *testing.T) {
+	antest.Run(t, "../testdata", releasecheck.Analyzer, "releasetest")
+}

@@ -1,0 +1,59 @@
+package reprolint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestIgnoreRequiresReason: a bare //lint:ignore with no reason does not
+// suppress — the reason is part of the directive grammar.
+func TestIgnoreRequiresReason(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+
+//lint:ignore lockguard
+var a int
+
+//lint:ignore lockguard because reasons
+var b int
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := CollectAnnotations(fset, []*ast.File{f})
+	mk := func(line int) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "x.go", Line: line},
+			Analyzer: "lockguard",
+		}
+	}
+	// Line 4 is `var a` (directive above lacks a reason); line 7 is `var b`.
+	got := ann.filterIgnored([]Diagnostic{mk(4), mk(7)})
+	if len(got) != 1 || got[0].Pos.Line != 4 {
+		t.Errorf("filterIgnored = %v, want only the reasonless line-4 diagnostic kept", got)
+	}
+}
+
+// TestOwnershipDirectiveMapsToReleasecheck: //lint:ownership transferred
+// suppresses releasecheck findings on its own and the following line,
+// and nothing else.
+func TestOwnershipDirectiveMapsToReleasecheck(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+
+//lint:ownership transferred registered in a global table
+var a int
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := CollectAnnotations(fset, []*ast.File{f})
+	rel := Diagnostic{Pos: token.Position{Filename: "x.go", Line: 4}, Analyzer: "releasecheck"}
+	other := Diagnostic{Pos: token.Position{Filename: "x.go", Line: 4}, Analyzer: "lockguard"}
+	got := ann.filterIgnored([]Diagnostic{rel, other})
+	if len(got) != 1 || got[0].Analyzer != "lockguard" {
+		t.Errorf("filterIgnored = %v, want only the lockguard diagnostic kept", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package reprolint is the project's static-analysis framework: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API plus a
+// package loader built on `go list -export` and the standard library's
+// gc-export-data importer. The four project analyzers (releasecheck,
+// lockguard, flushcheck, fsyncorder) run on it via cmd/reprolint, which
+// CI enforces as a hard gate over ./...
+//
+// The shapes deliberately match go/analysis (Analyzer, Pass, Diagnostic,
+// Reportf) so that, in an environment where golang.org/x/tools is
+// fetchable, the analyzers can be lifted onto the real multichecker
+// mechanically (see cmd/reprolint's build-tagged xtools driver).
+package reprolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// DirFilter, when non-empty, restricts the analyzer (under the
+	// driver; test harnesses run analyzers directly) to packages whose
+	// import path ends in one of these suffixes.
+	DirFilter []string
+	// Run analyzes one package, reporting findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { *p.diags = append(*p.diags, d) }
+
+// RunAnalyzers runs each analyzer over pkg and returns the surviving
+// diagnostics: suppression directives (//lint:ignore, and the analyzers'
+// own blessed annotations, which the analyzers honor themselves) have
+// been applied, and the result is sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ann := CollectAnnotations(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	diags = ann.filterIgnored(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// matchesFilter reports whether importPath passes the analyzer's
+// DirFilter (an empty filter passes everything).
+func (a *Analyzer) matchesFilter(importPath string) bool {
+	if len(a.DirFilter) == 0 {
+		return true
+	}
+	for _, suf := range a.DirFilter {
+		if importPath == suf || strings.HasSuffix(importPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package reprolint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Main loads the packages matching patterns (relative to dir) and runs
+// the given analyzers over each, honoring per-analyzer DirFilters.
+// Diagnostics print to stdout, loader failures to stderr. The return
+// value is the process exit code: 0 clean, 1 findings, 2 load/run error
+// — so `go run ./cmd/reprolint ./...` is a usable CI gate.
+func Main(stdout, stderr io.Writer, dir string, analyzers []*Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		var active []*Analyzer
+		for _, a := range analyzers {
+			if a.matchesFilter(pkg.ImportPath) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		diags, err := RunAnalyzers(pkg, active)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "reprolint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 // TestAllExperimentsQuick runs every experiment at quick scale: the harness
@@ -101,6 +103,42 @@ func TestByID(t *testing.T) {
 	}
 	if _, err := ByID(99); err == nil {
 		t.Error("ByID(99) succeeded")
+	}
+}
+
+// TestTimeItForkErrorReleasesChild is the regression test for a leak
+// releasecheck found in E3's snapshot arm: the forked child was released
+// only on the closure's success path, so a WriteU64 error leaked the
+// child's CoW frames every remaining iteration. The fix is the
+// `defer child.Release()` idiom; this test drives the same
+// fork-write-fail shape through timeIt and asserts the allocator's live
+// frame count returns to zero after the parent is released.
+func TestTimeItForkErrorReleasesChild(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0)
+	base := uint64(0x100000)
+	as := mem.NewAddressSpace(alloc)
+	if err := as.Map(base, 4*mem.PageSize, mem.PermRW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		as.WriteU64(base+i*mem.PageSize, i)
+	}
+	_, _, err := timeIt(8, func() error {
+		child := as.Fork()
+		defer child.Release()
+		// Dirty one page so the child owns a private CoW frame, then fail
+		// the way E3's arm can: a write outside the mapped range.
+		if err := child.WriteU64(base+8, 1); err != nil {
+			return err
+		}
+		return child.WriteU64(base+64*mem.PageSize, 1)
+	})
+	if err == nil {
+		t.Fatal("out-of-range write unexpectedly succeeded")
+	}
+	as.Release()
+	if live := alloc.Live(); live != 0 {
+		t.Fatalf("%d frames still live after release: the failing iteration leaked its forked child", live)
 	}
 }
 

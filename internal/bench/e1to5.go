@@ -202,13 +202,13 @@ func E3(o Options) (*trace.Table, error) {
 		var cow int64
 		snapTotal, snapPer, err := timeIt(steps, func() error {
 			child := as.Fork()
+			defer child.Release()
 			for i := 0; i < p; i++ {
 				if err := child.WriteU64(base+uint64(i)*mem.PageSize+8, 1); err != nil {
 					return err
 				}
 			}
 			cow += child.Stats().CowCopies
-			child.Release()
 			return nil
 		})
 		if err != nil {

@@ -67,6 +67,9 @@ func (as *AddressSpace) ResetStats() {
 // disabled, so subsequent reads and forks never mutate the space. Capture
 // paths call this before sharing a space across goroutines; a frozen space
 // must not be written.
+//
+// sharing_boundary: the space becomes shared across goroutines.
+// flushes_tlb
 func (as *AddressSpace) Freeze() {
 	as.tlb.off = true
 	as.tlb.flush()
@@ -126,6 +129,8 @@ func (as *AddressSpace) Map(start, length uint64, perm Perm, name string) error 
 
 // Unmap removes the page-aligned range [start, start+length), splitting
 // regions that straddle it and dropping the backing frames.
+//
+// sharing_boundary: cached translations and permissions go stale.
 func (as *AddressSpace) Unmap(start, length uint64) error {
 	if start&PageMask != 0 || length&PageMask != 0 {
 		return fmt.Errorf("mem: Unmap: unaligned range [%#x,+%#x)", start, length)
@@ -161,6 +166,8 @@ func (as *AddressSpace) Unmap(start, length uint64) error {
 
 // Protect changes the protection of the page-aligned range, which must be
 // fully mapped. Regions are split as needed (mprotect semantics).
+//
+// sharing_boundary: cached entries encode the old permissions.
 func (as *AddressSpace) Protect(start, length uint64, perm Perm) error {
 	if start&PageMask != 0 || length&PageMask != 0 {
 		return fmt.Errorf("mem: Protect: unaligned range [%#x,+%#x)", start, length)
@@ -235,16 +242,25 @@ func (as *AddressSpace) Brk(newBrk uint64) (uint64, error) {
 		}
 		heap.End = newEnd
 	} else if newEnd < heap.End {
-		start := newEnd
-		length := heap.End - newEnd
-		heap.End = newEnd
-		for addr := start; addr < start+length; addr += PageSize {
-			as.pt.clearPage(addr, &as.stats)
-		}
-		as.tlb.flush() // dropped frames may be cached
+		as.shrinkHeap(heap, newEnd)
 	}
 	as.brk = newBrk
 	return as.brk, nil
+}
+
+// shrinkHeap trims the heap region to newEnd, dropping the frames of the
+// unmapped tail. Split out of Brk because only the shrink direction
+// changes sharing: growth maps nothing.
+//
+// sharing_boundary: dropped frames may still be cached.
+func (as *AddressSpace) shrinkHeap(heap *VMA, newEnd uint64) {
+	start := newEnd
+	end := heap.End
+	heap.End = newEnd
+	for addr := start; addr < end; addr += PageSize {
+		as.pt.clearPage(addr, &as.stats)
+	}
+	as.tlb.flush()
 }
 
 // check validates an n-byte access at addr, returning the fault that a real
@@ -544,14 +560,14 @@ func (as *AddressSpace) ReadCString(addr uint64, maxLen int) (string, error) {
 //
 // Fork is a sharing boundary: the parent's privately-owned pages become
 // shared the instant the fork exists, so its write-TLB entries (which
-// cache private ownership) are flushed. The flush is skipped when no write
-// entry is live — in particular on frozen snapshot spaces, which are
-// forked concurrently by restoring workers and must not be mutated. The
-// child starts with an empty TLB.
+// cache private ownership) are flushed. flushWrite itself skips the work
+// when no write entry is live — in particular on frozen snapshot spaces,
+// which are forked concurrently by restoring workers and must not be
+// mutated. The child starts with an empty TLB.
+//
+// sharing_boundary
 func (as *AddressSpace) Fork() *AddressSpace {
-	if as.tlb.wdirty {
-		as.tlb.flushWrite()
-	}
+	as.tlb.flushWrite()
 	if as.pt.root != nil {
 		retainNode(as.pt.root)
 	}
@@ -566,6 +582,8 @@ func (as *AddressSpace) Fork() *AddressSpace {
 
 // Release drops this space's reference to its page table, freeing frames
 // whose last reference this was. The space must not be used afterwards.
+//
+// sharing_boundary: cached frames are released out from under the TLB.
 func (as *AddressSpace) Release() {
 	if as.pt.root != nil {
 		releaseNode(as.pt.alloc, as.pt.root)

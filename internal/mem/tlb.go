@@ -158,8 +158,15 @@ func (t *tlb) refreshRead(vpn uint64, f *Frame) {
 	}
 }
 
-// flushWrite drops every write entry (sharing boundary: Fork).
+// flushWrite drops every write entry (sharing boundary: Fork). The
+// no-live-entries fast path lives here rather than at call sites so a
+// sharing boundary can call it unconditionally: wdirty == false means no
+// write entry exists to go stale — in particular on frozen snapshot
+// spaces, which are forked concurrently and must not be mutated.
 func (t *tlb) flushWrite() {
+	if !t.wdirty {
+		return
+	}
 	if t.e != nil {
 		t.e.wtag = [tlbSize]uint64{}
 	}

@@ -31,10 +31,11 @@ type Stealable interface {
 // cross-worker contention is an actual steal. The padding keeps hot
 // shards off each other's cache lines.
 type shard[T any] struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// guarded_by: mu
 	items  []Item[T]
-	victim int    // round-robin steal cursor (owner-only)
-	rng    uint64 // xorshift64* state for StealRandom local pops
+	victim int    // round-robin steal cursor; owner-confined, not lock-guarded
+	rng    uint64 // guarded_by: mu — xorshift64* state for StealRandom local pops
 	_      [64]byte
 }
 
@@ -79,6 +80,7 @@ func NewSharded[T any](workers int, kind StealKind, seed uint64, drop func(Item[
 	for i := range s.shards {
 		s.shards[i].victim = (i + 1) % workers
 		// splitmix64 over the seed: decorrelated non-zero per-shard states.
+		//lint:ignore lockguard the pool is not yet published to any worker
 		s.shards[i].rng = splitmix64(seed+uint64(i+1)*0x9e3779b97f4a7c15) | 1
 	}
 	return s

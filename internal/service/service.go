@@ -178,20 +178,23 @@ type entry struct {
 
 // shard is one lock stripe of the reference table.
 type shard struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded_by: mu
 	entries map[uint64]*entry
 
 	// Per-shard LRU list of unpinned entries; head = least recently used.
-	lruHead, lruTail *entry
+	lruHead, lruTail *entry // guarded_by: mu
 
 	// Ring of recently evicted ids (ErrEvicted tombstones), bounded by
 	// tombstoneCap so eviction churn cannot grow memory without bound.
-	evicted  map[uint64]struct{}
-	evictLog []uint64
-	evictPos int
+	evicted  map[uint64]struct{} // guarded_by: mu
+	evictLog []uint64            // guarded_by: mu
+	evictPos int                 // guarded_by: mu
 }
 
 // lruRemove unlinks e from the shard's LRU list. Callers hold sh.mu.
+//
+// locks_held: mu
 func (sh *shard) lruRemove(e *entry) {
 	if !e.inLRU {
 		return
@@ -210,6 +213,9 @@ func (sh *shard) lruRemove(e *entry) {
 }
 
 // lruPushBack appends e as the shard's most recently used entry.
+// Callers hold sh.mu.
+//
+// locks_held: mu
 func (sh *shard) lruPushBack(e *entry) {
 	e.prev, e.next = sh.lruTail, nil
 	if sh.lruTail != nil {
@@ -221,7 +227,9 @@ func (sh *shard) lruPushBack(e *entry) {
 	e.inLRU = true
 }
 
-// lruTouch moves e to the most-recently-used end.
+// lruTouch moves e to the most-recently-used end. Callers hold sh.mu.
+//
+// locks_held: mu
 func (sh *shard) lruTouch(e *entry) {
 	sh.lruRemove(e)
 	sh.lruPushBack(e)
@@ -229,6 +237,8 @@ func (sh *shard) lruTouch(e *entry) {
 
 // missing explains why id is absent from the shard: recently evicted ids
 // answer ErrEvicted, everything else ErrUnknownRef. Callers hold sh.mu.
+//
+// locks_held: mu
 func (sh *shard) missing(id uint64) error {
 	if _, gone := sh.evicted[id]; gone {
 		return fmt.Errorf("service: reference %d: %w", id, ErrEvicted)
@@ -236,6 +246,9 @@ func (sh *shard) missing(id uint64) error {
 	return fmt.Errorf("service: %w %d", ErrUnknownRef, id)
 }
 
+// tombstone records id in the evicted ring. Callers hold sh.mu.
+//
+// locks_held: mu
 func (sh *shard) tombstone(id uint64) {
 	if sh.evicted == nil {
 		sh.evicted = make(map[uint64]struct{})
@@ -339,6 +352,7 @@ func NewWithConfig(cfg Config) *Service {
 	// Root candidate: empty filesystem, empty solver. Pinned forever.
 	as := mem.NewAddressSpace(s.alloc)
 	ctx := &snapshot.Context{Mem: as, FS: fs.New()}
+	//lint:ignore lockguard the service is not yet published to any other goroutine
 	s.shardFor(0).entries[0] = &entry{id: 0, state: s.tree.Capture(ctx, nil), pinned: true}
 	s.pinned.Store(1)
 	ctx.Release()

@@ -99,15 +99,21 @@ func (st Stats) DedupRatio() float64 {
 type Store struct {
 	dir string
 
-	mu        sync.Mutex
-	closed    bool
-	log       *os.File
+	mu sync.Mutex
+	// guarded_by: mu
+	closed bool
+	// guarded_by: mu
+	log *os.File
+	// guarded_by: mu
 	manifests map[uint64]*Manifest
+	// guarded_by: mu
 	chunkRefs map[Hash]int
+	// guarded_by: mu
 	chunkSize map[Hash]int64 // trimmed on-disk payload bytes
+	// guarded_by: mu
 	coldBytes int64
-	refChunks int64  // chunk references across all manifests
-	idMark    uint64 // durable service-id high-water mark (ReserveIDs)
+	refChunks int64  // guarded_by: mu — chunk references across all manifests
+	idMark    uint64 // guarded_by: mu — durable service-id high-water mark (ReserveIDs)
 
 	// pageHashes caches per-state page hashes keyed by the state's
 	// process-global sequence number (snapshot.State.Seq), so sibling
@@ -115,6 +121,7 @@ type Store struct {
 	// be the seq, not the tree-local id: the store outlives a service, and
 	// a successor service's tree reuses ids 1,2,3..., so an id-keyed cache
 	// would hand a new tree's spill a dead tree's hashes.
+	// guarded_by: mu
 	pageHashes map[uint64]map[uint64]Hash
 }
 
@@ -162,6 +169,7 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: seek log: %w", err)
 	}
 	// Account chunk payload sizes for manifests that survived replay.
+	//lint:ignore lockguard the store is not yet published to any other goroutine
 	for _, m := range s.manifests {
 		s.accountManifest(m, +1)
 	}
@@ -178,6 +186,8 @@ func Open(dir string) (*Store, error) {
 // are invisible to Stats, so without the sweep they accumulate forever.
 // Best-effort (an undeletable orphan only costs disk); runs
 // single-threaded in Open before the store is shared.
+//
+// locks_held: mu (trivially: the store is not yet published)
 func (s *Store) sweepOrphans() {
 	root := filepath.Join(s.dir, chunkDir)
 	subs, err := os.ReadDir(root)
@@ -214,7 +224,10 @@ func (s *Store) sweepOrphans() {
 // replay applies the manifest log to the in-memory tables and returns the
 // offset of the last intact record. A record that is merely truncated
 // (torn tail) stops replay cleanly; a record that frames correctly but
-// fails its checksum is corruption and errors.
+// fails its checksum is corruption and errors. Runs single-threaded in
+// Open before the store is shared.
+//
+// locks_held: mu (trivially: the store is not yet published)
 func (s *Store) replay(f *os.File) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("store: seek log: %w", err)
@@ -277,6 +290,8 @@ func (s *Store) replay(f *os.File) (int64, error) {
 // accountManifest adjusts the chunk reference tables by delta (+1/-1) for
 // every chunk m references, removing unreferenced chunk files on the way
 // down. Callers hold s.mu (or are single-threaded in Open).
+//
+// locks_held: mu
 func (s *Store) accountManifest(m *Manifest, delta int) {
 	m.refs(func(h Hash) {
 		s.refChunks += int64(delta)
@@ -306,6 +321,10 @@ func (s *Store) chunkPath(h Hash) string {
 }
 
 // appendRecord frames, checksums, appends, and syncs one log record.
+// Callers hold s.mu: the log is a shared append-only file, and commit
+// order must match table mutation order.
+//
+// locks_held: mu
 func (s *Store) appendRecord(op byte, payload []byte) error {
 	hdr := make([]byte, recHdrBytes)
 	binary.LittleEndian.PutUint32(hdr, logMagic)
@@ -342,6 +361,8 @@ func (s *Store) chunkKnown(h Hash) bool {
 // and safe for concurrent writers of the same content: every writer
 // renames identical bytes onto the same path. Does not touch the chunk
 // tables — callers account separately under s.mu.
+//
+// durable: publishes-synced
 func (s *Store) writeChunkFile(h Hash, data []byte) (int64, error) {
 	path := s.chunkPath(h)
 	trimmed := trimZeroes(data)
@@ -424,7 +445,9 @@ func (s *Store) readChunk(h Hash) ([]byte, error) {
 // cacheHashes remembers a state's page hashes for sibling spills, bounding
 // total cache entries. seq is the state's process-global sequence number
 // (snapshot.State.Seq) — never a tree-local id, which a successor tree
-// would reuse.
+// would reuse. Callers hold s.mu.
+//
+// locks_held: mu
 func (s *Store) cacheHashes(seq uint64, hashes map[uint64]Hash) {
 	if len(s.pageHashes) >= hashCacheCap {
 		for k := range s.pageHashes {
@@ -451,6 +474,8 @@ func hashPages(as *mem.AddressSpace) map[uint64]Hash {
 // the meantime (a concurrent spill of shared content may have committed
 // it; a concurrent spill still in flight re-verifies at its own commit
 // and rewrites what this removes). Callers hold s.mu.
+//
+// locks_held: mu
 func (s *Store) discardWritten(written map[Hash]struct{}) {
 	for h := range written {
 		if _, ok := s.chunkRefs[h]; ok {
@@ -461,6 +486,18 @@ func (s *Store) discardWritten(written map[Hash]struct{}) {
 		}
 		os.Remove(s.chunkPath(h))
 	}
+}
+
+// rollbackSpill undoes the accounting a failed spill added for the chunks
+// it sized, then removes its uncommitted chunk files. Callers hold s.mu.
+//
+// locks_held: mu
+func (s *Store) rollbackSpill(sized []Hash, written map[Hash]struct{}) {
+	for _, h := range sized {
+		s.coldBytes -= s.chunkSize[h]
+		delete(s.chunkSize, h)
+	}
+	s.discardWritten(written)
 }
 
 // spillTestHook, when set, runs between a Spill's off-lock chunk publish
@@ -628,20 +665,13 @@ func (s *Store) Spill(id uint64, state *snapshot.State) error {
 	// verified here stays pinned once accounted below. `sized` tracks
 	// accounting added for this manifest so a failed commit can undo it.
 	var sized []Hash
-	rollback := func() {
-		for _, h := range sized {
-			s.coldBytes -= s.chunkSize[h]
-			delete(s.chunkSize, h)
-		}
-		s.discardWritten(written)
-	}
 	for h, data := range chunks {
 		if s.chunkRefs[h] > 0 {
 			continue // another live manifest pins it while we hold s.mu
 		}
 		sz, err := s.writeChunkFile(h, data)
 		if err != nil {
-			rollback()
+			s.rollbackSpill(sized, written)
 			return err
 		}
 		written[h] = struct{}{}
@@ -652,7 +682,7 @@ func (s *Store) Spill(id uint64, state *snapshot.State) error {
 		}
 	}
 	if err := s.appendRecord(opPut, payload); err != nil {
-		rollback()
+		s.rollbackSpill(sized, written)
 		return err
 	}
 	s.manifests[id] = m
