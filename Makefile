@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ .
+	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ ./internal/checkpoint/ .
 
 # lint runs reprolint, the repo's own go/analysis suite enforcing the
 # snapshot-lifecycle, lock-guard, TLB-flush, and fsync-ordering
@@ -21,9 +21,11 @@ lint:
 	go run ./cmd/reprolint ./...
 
 # bench-ci emits the machine-readable quick-scale numbers CI archives
-# per commit: TLB locality (E11), work-stealing scaling (E12), and the
-# persistent store (E14).
+# per commit: TLB locality (E11), work-stealing scaling (E12), the
+# persistent store (E14), and asynchronous capture (E15).
+# BENCH_seed.json is the committed baseline from the PR that introduced
+# the trajectory; diff new artifacts against it.
 bench-ci:
-	go run ./cmd/snapbench -quick -e 11,12,14 -json BENCH_ci.json
+	go run ./cmd/snapbench -quick -e 11,12,14,15 -json BENCH_ci.json
 
 check: build lint test race

@@ -1,5 +1,5 @@
 // Command snapbench regenerates the reproduction's experiment tables
-// (E1–E14 in DESIGN.md / EXPERIMENTS.md).
+// (E1–E15 in DESIGN.md / EXPERIMENTS.md).
 //
 // Usage:
 //

@@ -315,8 +315,9 @@ func handle(ctx context.Context, svc *service.Service, out *bufio.Writer, fields
 		fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
 	case "stats":
 		st := svc.Stats()
-		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f spills=%d spill-failures=%d reloads=%d cold-bytes=%d cold-shared-ratio=%.2f\n",
+		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d captures=%d capture-ns=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f spills=%d spill-failures=%d reloads=%d cold-bytes=%d cold-shared-ratio=%.2f\n",
 			st.Extends, st.Evictions, st.Refs, st.Pinned, st.LiveSnapshots,
+			st.Captures, st.CaptureNs,
 			st.PrivateBytes, st.SharedBytes, st.SharedRatio(),
 			st.Spills, st.SpillFailures, st.Reloads, st.ColdBytes, st.ColdSharedRatio)
 	case "release", "pin", "unpin", "touch":

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
 	"testing"
 
 	"repro"
@@ -125,6 +126,87 @@ func (p *diffCSP) solve(t *testing.T, opts ...repro.Option) []uint64 {
 // frame, double pop, mis-ordered release), not a legitimate result.
 // Runs under -race in CI, where the 4-worker rows double as a data-race
 // probe over the shared read-only problem and the per-path CoW state.
+// TestDifferentialCaptureStorm re-solves the same seeded instance while
+// storm goroutines concurrently restore, mutate, and re-capture every
+// final state the search surfaces — the asynchronous-capture protocol
+// under fire. Captures are epoch bumps, not freezes, so the storm must
+// not perturb the search: the solution set stays identical to the
+// undisturbed reference and nothing leaks. Runs under -race in CI, where
+// it doubles as a race probe over Capture/Restore against live workers.
+func TestDifferentialCaptureStorm(t *testing.T) {
+	p := newDiffCSP(5, 6, 0.35, 20260726)
+	want := p.solve(t, repro.WithStrategy(repro.DFS()), repro.WithWorkers(1))
+	if len(want) == 0 {
+		t.Fatal("seeded instance has no solutions; differential run is vacuous")
+	}
+
+	alloc := repro.NewFrameAllocator(0)
+	root, err := repro.NewHostedContext(alloc, uint64(8*(p.nVars+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make(chan *repro.State, 64)
+	eng := repro.NewEngine(repro.NewHostedMachine(p.step),
+		repro.WithWorkers(4),
+		repro.WithKeepExitSnapshots(),
+		repro.WithOnSolution(func(sol repro.Solution) repro.Decision {
+			if sol.Final != nil {
+				// Retain before the select, release on the default arm: a
+				// select evaluates the send value even when it picks
+				// default, so `ch <- s.Retain()` would leak skipped states.
+				s := sol.Final.Retain()
+				select {
+				case states <- s:
+				default: // storm saturated; this state skips the storm
+					s.Release()
+				}
+			}
+			return repro.Continue
+		}))
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range states {
+				// Branch the sealed final state, scribble on the branch,
+				// re-capture it, and read it back through the new sealed
+				// view — a full epoch round-trip racing the live search.
+				ctx := s.Restore()
+				if err := ctx.Mem.WriteU64(repro.HostedHeapBase, 0xdead); err != nil {
+					t.Error(err)
+				} else {
+					snap := eng.Tree().Capture(ctx, s)
+					if v, err := snap.Mem().ReadU64(repro.HostedHeapBase); err != nil || v != 0xdead {
+						t.Errorf("storm re-capture read %#x, %v", v, err)
+					}
+					snap.Release()
+				}
+				ctx.Release()
+				s.Release()
+			}
+		}()
+	}
+	res, err := eng.Run(context.Background(), root)
+	close(states)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		got = append(got, s.Status)
+	}
+	slices.Sort(got)
+	res.Release()
+	if !slices.Equal(got, want) {
+		t.Errorf("solution set diverged under capture storm: %d solutions vs %d reference", len(got), len(want))
+	}
+	if eng.Tree().Live() != 0 || alloc.Live() != 0 {
+		t.Fatalf("leak under capture storm: %d snapshots, %d frames", eng.Tree().Live(), alloc.Live())
+	}
+}
+
 func TestDifferentialStrategies(t *testing.T) {
 	// ~6^5 raw leaves pruned by ~35%-dense binary constraints: a few
 	// dozen surviving solutions, enough structure for strategies to visit

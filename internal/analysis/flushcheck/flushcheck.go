@@ -1,17 +1,30 @@
 // Package flushcheck implements reprolint's TLB-invalidation checker.
-// Functions annotated `// sharing_boundary` change page-sharing
-// relationships (fork, unmap, protect, heap shrink, release, CoW
-// resolution): stale translations cached past them read or write pages
-// the address space no longer owns. The check: every success path
-// through a sharing_boundary function must pass a TLB invalidation —
-// a call whose method name is flush/flushWrite, or a call to a function
-// annotated `// flushes_tlb` (or itself sharing_boundary, which must
-// flush by induction).
+// It enforces two invalidation obligations:
+//
+//   - Functions annotated `// sharing_boundary` change page-sharing
+//     relationships in ways that make every cached translation suspect
+//     (unmap, protect, heap shrink, release, seal): stale entries read or
+//     write pages the address space no longer owns. Every success path
+//     must pass a TLB invalidation — a call whose method name is flush,
+//     or a call to a function annotated `// flushes_tlb` (or itself
+//     sharing_boundary, which must flush by induction).
+//
+//   - Functions annotated `// epoch_boundary` make privately-owned pages
+//     shared (fork/capture) without invalidating the whole TLB: the
+//     write entries go stale via the snapshot-epoch tag instead. Every
+//     success path must therefore advance the epoch — a call whose
+//     method name is AdvanceEpoch, or a call to a function annotated
+//     `// bumps_epoch` (or itself epoch_boundary, by induction).
+//     Deleting the epoch bump from a capture path silently resurrects
+//     the stop-the-mutator bug class this protocol replaced — privately
+//     cached write entries surviving into the shared era — so the rule
+//     is a hard gate, not a style check.
 //
 // Error paths are exempt: a return whose error-result expression is
 // non-nil abandoned the operation before the sharing change took
 // effect. Implicit end-of-body returns and naked returns count as
-// successes (strict). Deferred flushes discharge every exit after them.
+// successes (strict). Deferred flushes/bumps discharge every exit after
+// them.
 package flushcheck
 
 import (
@@ -24,49 +37,67 @@ import (
 // Analyzer is the flushcheck analyzer.
 var Analyzer = &reprolint.Analyzer{
 	Name: "flushcheck",
-	Doc:  "sharing_boundary functions must invalidate the TLB on every success path",
+	Doc:  "sharing_boundary functions must invalidate the TLB, epoch_boundary functions must advance the snapshot epoch, on every success path",
 	Run:  run,
 }
 
 // flushMethodNames are method/function names whose call is itself a TLB
-// invalidation.
+// invalidation. flushWrite is the retired pre-epoch write-flush; keeping
+// it recognized lets testdata and any out-of-tree callers stay honest.
 var flushMethodNames = map[string]bool{
 	"flush":      true,
 	"flushWrite": true,
 }
 
+// epochMethodNames are method/function names whose call is itself a
+// snapshot-epoch advance.
+var epochMethodNames = map[string]bool{
+	"AdvanceEpoch": true,
+	"advanceEpoch": true,
+}
+
 func run(pass *reprolint.Pass) error {
 	decls := reprolint.FuncDeclMap(pass)
 	// anns caches the annotation of every declared function so callee
-	// resolution is O(1) inside the flush predicate.
+	// resolution is O(1) inside the discharge predicates.
 	anns := map[*ast.FuncDecl]reprolint.FuncAnn{}
 	for _, fd := range decls {
 		anns[fd] = reprolint.FuncAnnotation(fd)
 	}
 
-	isFlush := func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
+	// discharges builds the predicate for one obligation: a call is a
+	// discharge when its name is on the method list or its resolved callee
+	// carries (or inductively owes) the corresponding annotation.
+	discharges := func(names map[string]bool, ann func(reprolint.FuncAnn) bool) func(ast.Node) bool {
+		return func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if names[fun.Name] {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if names[fun.Sel.Name] {
+					return true
+				}
+			}
+			if fn := reprolint.CalleeFunc(pass.TypesInfo, call); fn != nil {
+				if fd, ok := decls[fn]; ok {
+					return ann(anns[fd])
+				}
+			}
 			return false
 		}
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			if flushMethodNames[fun.Name] {
-				return true
-			}
-		case *ast.SelectorExpr:
-			if flushMethodNames[fun.Sel.Name] {
-				return true
-			}
-		}
-		if fn := reprolint.CalleeFunc(pass.TypesInfo, call); fn != nil {
-			if fd, ok := decls[fn]; ok {
-				a := anns[fd]
-				return a.FlushesTLB || a.SharingBoundary
-			}
-		}
-		return false
 	}
+	isFlush := discharges(flushMethodNames, func(a reprolint.FuncAnn) bool {
+		return a.FlushesTLB || a.SharingBoundary
+	})
+	isBump := discharges(epochMethodNames, func(a reprolint.FuncAnn) bool {
+		return a.BumpsEpoch || a.EpochBoundary
+	})
 
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
@@ -74,16 +105,19 @@ func run(pass *reprolint.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if !reprolint.FuncAnnotation(fd).SharingBoundary {
-				continue
+			ann := reprolint.FuncAnnotation(fd)
+			if ann.SharingBoundary {
+				checkBoundary(pass, fd, isFlush, "TLB invalidation", "sharing_boundary")
 			}
-			checkBoundary(pass, fd, isFlush)
+			if ann.EpochBoundary {
+				checkBoundary(pass, fd, isBump, "snapshot-epoch advance", "epoch_boundary")
+			}
 		}
 	}
 	return nil
 }
 
-func checkBoundary(pass *reprolint.Pass, fd *ast.FuncDecl, isFlush func(ast.Node) bool) {
+func checkBoundary(pass *reprolint.Pass, fd *ast.FuncDecl, isFlush func(ast.Node) bool, obligation, directive string) {
 	graph := astcfg.Build(fd.Body)
 	for _, d := range graph.Defers {
 		flushed := false
@@ -132,7 +166,7 @@ func checkBoundary(pass *reprolint.Pass, fd *ast.FuncDecl, isFlush func(ast.Node
 			where = pass.Fset.Position(ret.Pos()).String()
 		}
 		pass.Reportf(fd.Pos(),
-			"sharing_boundary function %s has a success path (reaching %s) with no TLB invalidation",
-			fd.Name.Name, where)
+			"%s function %s has a success path (reaching %s) with no %s",
+			directive, fd.Name.Name, where, obligation)
 	}
 }

@@ -10,3 +10,7 @@ import (
 func TestFlushcheck(t *testing.T) {
 	antest.Run(t, "../testdata", flushcheck.Analyzer, "flushtest")
 }
+
+func TestFlushcheckEpochBoundary(t *testing.T) {
+	antest.Run(t, "../testdata", flushcheck.Analyzer, "epochtest")
+}

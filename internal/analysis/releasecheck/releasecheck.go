@@ -204,6 +204,12 @@ func isAcquisition(info *types.Info, call *ast.CallExpr) (string, bool) {
 		name = fun.Name
 	case *ast.SelectorExpr:
 		name = fun.Sel.Name
+		// sync/atomic receivers are lock-free publication, not resource
+		// acquisition: atomic.Pointer[T].Load returns a *T the caller
+		// never owns (the sealed-read TLB loads entries this way).
+		if recv, ok := info.Types[fun.X]; ok && isAtomicType(recv.Type) {
+			return "", false
+		}
 	default:
 		return "", false
 	}
@@ -227,6 +233,21 @@ func isAcquisition(info *types.Info, call *ast.CallExpr) (string, bool) {
 	}
 	_, isStruct := ptr.Elem().Underlying().(*types.Struct)
 	return name, isStruct
+}
+
+// isAtomicType reports whether t (possibly behind a pointer) is declared
+// in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	return false
 }
 
 // hasReleaseMethod reports whether the call's first result type has a

@@ -33,6 +33,14 @@ import (
 //	// flushes_tlb
 //	    On a function: calling it counts as a TLB invalidation.
 //
+//	// epoch_boundary
+//	    On a function: it makes privately-owned pages shared (capture,
+//	    fork), so every success path must advance the snapshot epoch
+//	    (flushcheck).
+//
+//	// bumps_epoch
+//	    On a function: calling it counts as a snapshot-epoch advance.
+//
 //	// durable: publishes-synced
 //	    On a function: it renames/creates files AND syncs their
 //	    directory entries internally, so calls to it are already-synced
@@ -42,6 +50,8 @@ import (
 type FuncAnn struct {
 	SharingBoundary bool
 	FlushesTLB      bool
+	EpochBoundary   bool
+	BumpsEpoch      bool
 	DurablePublish  bool
 	LocksHeld       []string
 }
@@ -59,6 +69,10 @@ func FuncAnnotation(fn *ast.FuncDecl) FuncAnn {
 			a.SharingBoundary = true
 		case directiveIs(line, "flushes_tlb"):
 			a.FlushesTLB = true
+		case directiveIs(line, "epoch_boundary"):
+			a.EpochBoundary = true
+		case directiveIs(line, "bumps_epoch"):
+			a.BumpsEpoch = true
 		case directiveIs(line, "durable") && strings.Contains(line, "publishes-synced"):
 			a.DurablePublish = true
 		case directiveIs(line, "locks_held"):

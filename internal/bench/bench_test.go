@@ -96,6 +96,23 @@ func BenchmarkE14Quick(b *testing.B) {
 	}
 }
 
+// BenchmarkE15Quick keeps the asynchronous-capture experiment wired into
+// `go test -bench` (and the CI one-iteration smoke): every iteration
+// re-asserts the O(1) capture-latency flatness, the bounded writer
+// degradation under 0/1/4/8 concurrent capturers, and verdict identity
+// under a capture storm.
+func BenchmarkE15Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := E15(Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("E15 produced no rows")
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	e, err := ByID(4)
 	if err != nil || e.ID != 4 {

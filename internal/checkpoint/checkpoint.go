@@ -4,8 +4,9 @@
 //   - Full copy ([14] libckpt-style): every resident page is copied out at
 //     capture and copied back at restore — O(resident) both ways.
 //   - Incremental: only pages dirtied since the previous capture are
-//     copied, with dirty detection via write-protection emulated by our CoW
-//     layer (fork, then compare frame identities).
+//     copied, with dirty detection keyed off snapshot epochs: each capture
+//     advances the space's epoch, and a page is dirty iff its frame was
+//     stamped at or after the previous capture's epoch.
 //   - EagerFork: the naive sys_fork cost model of §3 — a complete eager
 //     duplication of the address space per exploration branch.
 //   - ScanSnapshot: the D1 ablation — snapshot creation that walks every
@@ -109,11 +110,16 @@ func ScanSnapshot(as *mem.AddressSpace) (*mem.AddressSpace, int) {
 }
 
 // Incremental checkpoints a live address space repeatedly, copying only
-// pages dirtied since the previous capture. Dirty detection mirrors the
-// mprotect trick of libckpt: after each capture we keep a CoW fork of the
-// space; a page is dirty iff its backing frame no longer matches the fork.
+// pages dirtied since the previous capture. Dirty detection keys off
+// snapshot epochs instead of the old freeze-point fork: every slow-path
+// write stamps the frame with the space's current epoch token, so "written
+// since the last capture" is simply a stamp at or after that capture's
+// epoch. Each Capture then advances the epoch, which stales the space's
+// write-TLB entries in O(1) and forces the next write per page back
+// through the stamping fault path — no CoW reference fork, no O(resident)
+// baseline to retain between captures.
 type Incremental struct {
-	prev   *mem.AddressSpace // CoW reference point (owned)
+	epoch  uint64 // epoch token issued by the previous Capture; 0 = none yet
 	layers []*Image
 }
 
@@ -126,17 +132,14 @@ func (inc *Incremental) Capture(as *mem.AddressSpace) *Image {
 	img := &Image{VMAs: as.VMAs()}
 	img.Brk, _ = as.Brk(0)
 	as.ForEachPage(func(addr uint64, f *mem.Frame) {
-		if inc.prev != nil && inc.prev.FrameAt(addr) == f {
-			return // unchanged since the reference point
+		if inc.epoch != 0 && f.Epoch() < inc.epoch {
+			return // not written since the previous capture's epoch
 		}
 		p := Page{Addr: addr}
 		p.Data = f.Data
 		img.Pages = append(img.Pages, p)
 	})
-	if inc.prev != nil {
-		inc.prev.Release()
-	}
-	inc.prev = as.Fork()
+	inc.epoch = as.AdvanceEpoch()
 	inc.layers = append(inc.layers, img)
 	return img
 }
@@ -197,10 +200,9 @@ func (inc *Incremental) Restore(alloc *mem.FrameAllocator) (*mem.AddressSpace, e
 	return as, nil
 }
 
-// Release frees the incremental series' reference point.
+// Release ends the incremental series. The epoch-keyed dirty walk holds no
+// memory reference point, so this only resets the series state; it is kept
+// so call sites releasing a checkpoint source stay uniform.
 func (inc *Incremental) Release() {
-	if inc.prev != nil {
-		inc.prev.Release()
-		inc.prev = nil
-	}
+	inc.epoch = 0
 }

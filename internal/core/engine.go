@@ -119,6 +119,8 @@ type Stats struct {
 	Emitted    int64
 	Evicted    int64 // extensions dropped by a memory-bounded strategy (SM-A*)
 	Snapshots  int64 // partial candidates captured
+	CaptureNs  int64 // cumulative wall time inside Tree.Capture (capture stall budget)
+	Epochs     int64 // snapshot-epoch advances across all extension contexts
 	MaxDepth   int64
 	CowCopies  int64
 	ZeroFills  int64
@@ -181,6 +183,7 @@ type Engine struct {
 	cowCopies  atomic.Int64
 	zeroFills  atomic.Int64
 	nodeClones atomic.Int64
+	epochs     atomic.Int64
 	tlbHits    atomic.Int64
 	tlbMisses  atomic.Int64
 }
@@ -327,6 +330,8 @@ func (e *Engine) Run(ctx context.Context, root *snapshot.Context) (*Result, erro
 			Emitted:    e.emitted.Load(),
 			Evicted:    e.evicted.Load(),
 			Snapshots:  e.tree.Created(),
+			CaptureNs:  e.tree.CaptureNs(),
+			Epochs:     e.epochs.Load(),
 			MaxDepth:   e.maxDepth.Load(),
 			CowCopies:  e.cowCopies.Load(),
 			ZeroFills:  e.zeroFills.Load(),
@@ -418,6 +423,7 @@ func (e *Engine) evaluate(w int, parent *snapshot.State, ctx *snapshot.Context, 
 		e.cowCopies.Add(st.CowCopies)
 		e.zeroFills.Add(st.ZeroFills)
 		e.nodeClones.Add(st.NodeClones)
+		e.epochs.Add(st.Epochs)
 		e.tlbHits.Add(st.TLBHits)
 		e.tlbMisses.Add(st.TLBMisses)
 		if e.cfg.Observer != nil {

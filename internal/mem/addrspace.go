@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // VMA is a mapped virtual-memory region [Start, End) with region-granular
@@ -22,38 +23,60 @@ func (v VMA) contains(addr uint64) bool { return addr >= v.Start && addr < v.End
 
 // AddressSpace is one mutable guest address space: a VMA list plus a
 // persistent page table and a software TLB caching hot translations (see
-// tlb.go). Forking an address space is O(1): the fork shares the frozen
-// page-table root and both sides copy-on-write from then on.
+// tlb.go). Forking an address space is O(1): the fork shares the
+// page-table root, starts a new snapshot epoch, and both sides
+// copy-on-write from then on.
 //
 // An AddressSpace is owned by a single goroutine — reads fill the TLB, so
-// even read-only use mutates internal state. The exceptions are a frozen
-// space (Freeze), whose TLB is inert and which may therefore be read and
-// forked from many goroutines at once, and the *shared* structures
-// underneath (frames, table nodes), whose atomic refcounts let address
-// spaces forked from a common snapshot run on different goroutines
-// concurrently.
+// even read-only use mutates internal state. The exceptions are a sealed
+// space (Seal), whose reads go through a lock-free shared cache and which
+// may therefore be read and forked from many goroutines at once, and the
+// *shared* structures underneath (frames, table nodes), whose atomic
+// refcounts let address spaces forked from a common snapshot run on
+// different goroutines concurrently.
 type AddressSpace struct {
-	pt    pageTable
-	tlb   tlb
+	pt  pageTable
+	tlb tlb
+	// sealed marks a settled snapshot view: the space is shared across
+	// goroutines, must never be written, and serves reads through stlb.
+	// Set once by Seal before the space is published; never cleared.
+	sealed bool
+	// stlb is the sealed-read cache, allocated lazily on the first sealed
+	// read miss. It is its own structure (not the single-owner tlb) because
+	// concurrent restorers and inspectors fill it racily; see sealedTLB.
+	stlb  atomic.Pointer[sealedTLB]
 	vmas  []VMA // sorted by Start, non-overlapping
 	brk   uint64
 	stats Stats
 }
 
+// epochCounter issues process-wide snapshot-epoch tokens. Tokens are
+// globally unique across address spaces (not per-space sequence numbers),
+// so a frame stamp can be compared against any space's current epoch
+// without tracking which space issued it.
+var epochCounter atomic.Uint64
+
+func nextEpoch() uint64 { return epochCounter.Add(1) }
+
 // NewAddressSpace returns an empty address space drawing frames from alloc.
 func NewAddressSpace(alloc *FrameAllocator) *AddressSpace {
-	return &AddressSpace{pt: pageTable{alloc: alloc}}
+	return &AddressSpace{pt: pageTable{alloc: alloc, epoch: nextEpoch()}}
 }
 
 // Alloc returns the frame allocator backing this space.
 func (as *AddressSpace) Alloc() *FrameAllocator { return as.pt.alloc }
 
 // Stats returns the event counters accumulated by this space, folding in
-// the TLB hit/miss counters kept alongside the TLB entries.
+// the TLB hit/miss counters kept alongside the TLB entries and, for a
+// sealed space, the shared read-cache counters.
 func (as *AddressSpace) Stats() Stats {
 	s := as.stats
 	s.TLBHits = as.tlb.hits
 	s.TLBMisses = as.tlb.misses
+	if st := as.stlb.Load(); st != nil {
+		s.TLBHits += st.hits.Load()
+		s.TLBMisses += st.misses.Load()
+	}
 	return s
 }
 
@@ -61,24 +84,62 @@ func (as *AddressSpace) Stats() Stats {
 func (as *AddressSpace) ResetStats() {
 	as.stats = Stats{}
 	as.tlb.hits, as.tlb.misses = 0, 0
+	if st := as.stlb.Load(); st != nil {
+		st.hits.Store(0)
+		st.misses.Store(0)
+	}
 }
 
-// Freeze marks the space as a frozen snapshot view: the TLB is flushed and
-// disabled, so subsequent reads and forks never mutate the space. Capture
-// paths call this before sharing a space across goroutines; a frozen space
-// must not be written.
+// Epoch returns the space's current snapshot-epoch token.
+func (as *AddressSpace) Epoch() uint64 { return as.pt.epoch }
+
+// Sealed reports whether Seal has been called on this space.
+func (as *AddressSpace) Sealed() bool { return as.sealed }
+
+// AdvanceEpoch starts a new snapshot epoch and returns its token. Every
+// write-TLB entry filled under the previous epoch goes stale in O(1) (the
+// probe compares epochs), and every subsequent write re-resolves through
+// the fault path, restamping its frame with the new token — which is what
+// lets captures and incremental checkpoints detect "written since" by
+// comparing frame stamps. On a sealed space this is a no-op returning the
+// current token: sealed spaces are shared read-only and must not be
+// mutated, and since they take no writes their dirty set is empty anyway.
+//
+// bumps_epoch
+func (as *AddressSpace) AdvanceEpoch() uint64 {
+	if as.sealed {
+		return as.pt.epoch
+	}
+	as.pt.epoch = nextEpoch()
+	as.stats.Epochs++
+	return as.pt.epoch
+}
+
+// Seal marks the space as a settled snapshot view that may be shared
+// across goroutines: the single-owner TLB is flushed and disabled, writes
+// fault, and subsequent reads are served (and cached) through a lock-free
+// read-only cache, so concurrent Restore forks and inspectors neither
+// mutate unsynchronized state nor pay a radix walk per read. Capture paths
+// call this on the fork they publish; it replaces the old Freeze protocol,
+// which disabled caching entirely and made every shared-state read a full
+// table walk.
 //
 // sharing_boundary: the space becomes shared across goroutines.
 // flushes_tlb
-func (as *AddressSpace) Freeze() {
+func (as *AddressSpace) Seal() {
 	as.tlb.off = true
 	as.tlb.flush()
+	as.sealed = true
 }
 
 // SetTLBEnabled toggles the software TLB (benchmark plumbing: the disabled
 // state measures the pre-TLB walk-per-access baseline). Disabling flushes
-// every entry; hit/miss counters stop advancing while disabled.
+// every entry; hit/miss counters stop advancing while disabled. No-op on a
+// sealed space, whose single-owner TLB must stay inert.
 func (as *AddressSpace) SetTLBEnabled(on bool) {
+	if as.sealed {
+		return
+	}
 	as.tlb.off = !on
 	if !on {
 		as.tlb.flush()
@@ -327,6 +388,9 @@ func (as *AddressSpace) read(p []byte, addr uint64, access Access) error {
 	if n == 0 {
 		return nil
 	}
+	if as.sealed {
+		return as.readSealed(p, addr, access)
+	}
 	// TLB fast path: a single-page read whose page is cached needs no VMA
 	// check (the entry asserts PermRead) and no radix walk.
 	if access == AccessRead {
@@ -379,9 +443,10 @@ func (as *AddressSpace) WriteAt(p []byte, addr uint64) error {
 	if n == 0 {
 		return nil
 	}
-	// TLB fast path: single-page store to a privately-owned page.
+	// TLB fast path: single-page store to a page this space privately
+	// owned within the current snapshot epoch.
 	if off := int(addr & PageMask); off+n <= PageSize {
-		if f, ok := as.tlb.writeFrame(addr >> PageShift); ok {
+		if f, ok := as.tlb.writeFrame(addr>>PageShift, as.pt.epoch); ok {
 			copy(f.Data[off:off+n], p)
 			return nil
 		}
@@ -411,6 +476,10 @@ func (as *AddressSpace) WriteForce(p []byte, addr uint64) error {
 // writes pay one radix walk per span plus one refcount check per page
 // instead of a full walk per page.
 func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
+	if as.sealed {
+		return sealedWriteFault(addr)
+	}
+	epoch := as.pt.epoch
 	var leaf *tableNode
 	leafBase := ^uint64(0)
 	for len(p) > 0 {
@@ -419,11 +488,12 @@ func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
 		vpn := addr >> PageShift
 		var f *Frame
 		if force {
-			// Peek without charging guest hit accounting.
-			if e := as.tlb.e; e != nil && e.wtag[vpn&tlbMask] == vpn+1 {
+			// Peek without charging guest hit accounting; the epoch must
+			// match just like a guest probe, or the frame may be shared.
+			if e := as.tlb.e; e != nil && e.wtag[vpn&tlbMask] == vpn+1 && e.wepoch[vpn&tlbMask] == epoch {
 				f = e.wframe[vpn&tlbMask]
 			}
-		} else if hit, ok := as.tlb.writeFrame(vpn); ok {
+		} else if hit, ok := as.tlb.writeFrame(vpn, epoch); ok {
 			f = hit
 		}
 		if f == nil {
@@ -439,7 +509,7 @@ func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
 			if force {
 				as.tlb.refreshRead(vpn, f)
 			} else {
-				as.tlb.fillWrite(vpn, f)
+				as.tlb.fillWrite(vpn, f, epoch)
 			}
 		}
 		copy(f.Data[off:off+n], p[:n])
@@ -455,6 +525,21 @@ func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
 func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	if addr&7 == 0 {
 		vpn := addr >> PageShift
+		if as.sealed {
+			f, ok := as.sealedProbe(vpn)
+			if !ok {
+				if err := as.check(addr, 8, AccessRead); err != nil {
+					return 0, err
+				}
+				f = lookup(as.pt.root, addr)
+				as.sealedFill(vpn, f)
+			}
+			if f == nil {
+				return 0, nil
+			}
+			off := addr & PageMask
+			return binary.LittleEndian.Uint64(f.Data[off : off+8]), nil
+		}
 		if f, ok := as.tlb.readFrame(vpn); ok {
 			if f == nil {
 				return 0, nil
@@ -487,18 +572,21 @@ func (as *AddressSpace) WriteU64(addr, val uint64) error {
 	if addr&7 == 0 {
 		vpn := addr >> PageShift
 		off := addr & PageMask
-		if f, ok := as.tlb.writeFrame(vpn); ok {
+		if f, ok := as.tlb.writeFrame(vpn, as.pt.epoch); ok {
 			binary.LittleEndian.PutUint64(f.Data[off:off+8], val)
 			return nil
 		}
 		if err := as.check(addr, 8, AccessWrite); err != nil {
 			return err
 		}
+		if as.sealed {
+			return sealedWriteFault(addr)
+		}
 		f, err := as.pt.ensureWritable(addr, &as.stats)
 		if err != nil {
 			return err
 		}
-		as.tlb.fillWrite(vpn, f)
+		as.tlb.fillWrite(vpn, f, as.pt.epoch)
 		binary.LittleEndian.PutUint64(f.Data[off:off+8], val)
 		return nil
 	}
@@ -558,23 +646,26 @@ func (as *AddressSpace) ReadCString(addr uint64, maxLen int) (string, error) {
 // share every page copy-on-write; the VMA list and break are duplicated.
 // This is the primitive lightweight snapshots build on.
 //
-// Fork is a sharing boundary: the parent's privately-owned pages become
-// shared the instant the fork exists, so its write-TLB entries (which
-// cache private ownership) are flushed. flushWrite itself skips the work
-// when no write entry is live — in particular on frozen snapshot spaces,
-// which are forked concurrently by restoring workers and must not be
-// mutated. The child starts with an empty TLB.
+// Fork is an epoch boundary: the parent's privately-owned pages become
+// shared the instant the fork exists, so the parent starts a new snapshot
+// epoch. Its write-TLB entries — which cache private ownership under the
+// epoch they were filled in — go stale in O(1) without being touched, and
+// the parent's next write to each page re-resolves through the fault path
+// (copy-on-first-write-per-epoch). AdvanceEpoch itself no-ops on sealed
+// snapshot spaces, which are forked concurrently by restoring workers and
+// must not be mutated. The child starts with an empty TLB and a fresh
+// epoch of its own.
 //
-// sharing_boundary
+// epoch_boundary: the parent's privately-owned pages become shared.
 func (as *AddressSpace) Fork() *AddressSpace {
-	as.tlb.flushWrite()
+	as.AdvanceEpoch()
 	if as.pt.root != nil {
 		retainNode(as.pt.root)
 	}
 	vmas := make([]VMA, len(as.vmas))
 	copy(vmas, as.vmas)
 	return &AddressSpace{
-		pt:   pageTable{root: as.pt.root, alloc: as.pt.alloc},
+		pt:   pageTable{root: as.pt.root, alloc: as.pt.alloc, epoch: nextEpoch()},
 		vmas: vmas,
 		brk:  as.brk,
 	}
@@ -590,7 +681,8 @@ func (as *AddressSpace) Release() {
 		as.pt.root = nil
 	}
 	as.vmas = nil
-	as.tlb.flush() // cached frames were just released
+	as.tlb.flush()     // cached frames were just released
+	as.stlb.Store(nil) // likewise the sealed read cache
 }
 
 // Footprint walks the page table and reports residency and sharing.
@@ -620,16 +712,19 @@ func (as *AddressSpace) FrameAt(addr uint64) *Frame { return lookup(as.pt.root, 
 // controlled points.
 func (as *AddressSpace) TouchWritable(addr uint64) error {
 	vpn := addr >> PageShift
-	if _, ok := as.tlb.writeFrame(vpn); ok {
-		return nil // already privately owned
+	if _, ok := as.tlb.writeFrame(vpn, as.pt.epoch); ok {
+		return nil // already privately owned this epoch
 	}
 	if err := as.check(addr, 1, AccessWrite); err != nil {
 		return err
+	}
+	if as.sealed {
+		return sealedWriteFault(addr)
 	}
 	f, err := as.pt.ensureWritable(addr, &as.stats)
 	if err != nil {
 		return err
 	}
-	as.tlb.fillWrite(vpn, f)
+	as.tlb.fillWrite(vpn, f, as.pt.epoch)
 	return nil
 }

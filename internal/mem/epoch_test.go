@@ -1,0 +1,188 @@
+package mem
+
+import (
+	"testing"
+)
+
+// TestEpochStamping checks the write-side of the epoch protocol: every
+// privatizing write stamps the frame with the space's current epoch, an
+// AdvanceEpoch leaves old stamps behind (so "written since" is exactly
+// `stamp >= boundary`), and rewriting a privately-owned page after a bump
+// restamps it in place — the arm incremental checkpoints depend on.
+func TestEpochStamping(t *testing.T) {
+	as := newAS(t)
+	defer as.Release()
+	mustMap(t, as, 0x1000, 3*PageSize, PermRW, "data")
+
+	if err := as.WriteU64(0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	e0 := as.Epoch()
+	if got := as.FrameAt(0x1000).Epoch(); got != e0 {
+		t.Fatalf("fresh write stamped epoch %d, space epoch %d", got, e0)
+	}
+
+	e1 := as.AdvanceEpoch()
+	if e1 <= e0 {
+		t.Fatalf("AdvanceEpoch went %d -> %d, want strictly increasing", e0, e1)
+	}
+	if got := as.FrameAt(0x1000).Epoch(); got != e0 {
+		t.Fatalf("bump restamped an untouched frame: %d, want %d", got, e0)
+	}
+	if got := as.FrameAt(0x1000).Epoch(); got >= e1 {
+		t.Fatalf("untouched frame reads as dirty in epoch %d", e1)
+	}
+
+	// Rewrite the privately-owned page: no CoW happens (refcount 1), so
+	// the stamp must be updated in place.
+	if err := as.WriteU64(0x1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.FrameAt(0x1000).Epoch(); got != e1 {
+		t.Fatalf("in-place rewrite stamped %d, want current epoch %d", got, e1)
+	}
+	// A page never written since the bump stays below the boundary.
+	if err := as.WriteU64(0x2000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.FrameAt(0x2000).Epoch(); got != e1 {
+		t.Fatalf("first-touch after bump stamped %d, want %d", got, e1)
+	}
+}
+
+// TestEpochForkUniqueness checks the sharing-side: Fork advances the
+// parent's epoch (its cached write entries go stale) and the child starts
+// in a globally fresh epoch, so no space can mistake another lineage's
+// stamps for its own.
+func TestEpochForkUniqueness(t *testing.T) {
+	as := newAS(t)
+	defer as.Release()
+	mustMap(t, as, 0x1000, PageSize, PermRW, "data")
+	if err := as.WriteU64(0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	parentBefore := as.Epoch()
+	child := as.Fork()
+	defer child.Release()
+	if as.Epoch() <= parentBefore {
+		t.Fatalf("Fork left parent epoch at %d (was %d); stale write entries survive", as.Epoch(), parentBefore)
+	}
+	if child.Epoch() == as.Epoch() || child.Epoch() <= parentBefore {
+		t.Fatalf("child epoch %d not fresh (parent %d -> %d)", child.Epoch(), parentBefore, as.Epoch())
+	}
+	// The shared frame's stamp predates both new epochs: neither side may
+	// consider it privately written in its current epoch.
+	if got := as.FrameAt(0x1000).Epoch(); got >= as.Epoch() || got >= child.Epoch() {
+		t.Fatalf("shared frame stamp %d not below post-fork epochs %d/%d", got, as.Epoch(), child.Epoch())
+	}
+}
+
+// TestAdvanceEpochSealed checks that a sealed space is epoch-frozen:
+// AdvanceEpoch is a no-op returning the current epoch, so forking a
+// sealed snapshot never mutates it (concurrent Restore safety).
+func TestAdvanceEpochSealed(t *testing.T) {
+	as := newAS(t)
+	defer as.Release()
+	mustMap(t, as, 0x1000, PageSize, PermRW, "data")
+	if err := as.WriteU64(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	as.Seal()
+	if !as.Sealed() {
+		t.Fatal("Seal did not seal")
+	}
+	e := as.Epoch()
+	if got := as.AdvanceEpoch(); got != e || as.Epoch() != e {
+		t.Fatalf("AdvanceEpoch on sealed space moved %d -> %d", e, as.Epoch())
+	}
+	child := as.Fork()
+	defer child.Release()
+	if as.Epoch() != e {
+		t.Fatalf("Fork mutated sealed parent's epoch: %d -> %d", e, as.Epoch())
+	}
+}
+
+// TestSealedReadTLBHitRate checks the mechanism behind the shared-state
+// read penalty fix: repeated reads of a sealed space are served by the
+// lock-free sealed TLB, not a radix walk per access. The hit rate is the
+// deterministic guarantee behind BenchmarkReadU64Sealed's ~parity with
+// private reads.
+func TestSealedReadTLBHitRate(t *testing.T) {
+	as := newAS(t)
+	defer as.Release()
+	const pages = 8
+	mustMap(t, as, 0x1000, pages*PageSize, PermRW, "data")
+	for i := uint64(0); i < pages; i++ {
+		if err := as.WriteU64(0x1000+i*PageSize, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as.Seal()
+	as.ResetStats()
+	const rounds = 128
+	for r := 0; r < rounds; r++ {
+		for i := uint64(0); i < pages; i++ {
+			v, err := as.ReadU64(0x1000 + i*PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != i {
+				t.Fatalf("sealed read page %d = %d", i, v)
+			}
+		}
+	}
+	st := as.Stats()
+	if st.TLBHits+st.TLBMisses != rounds*pages {
+		t.Fatalf("sealed reads miscounted: hits %d + misses %d != %d accesses",
+			st.TLBHits, st.TLBMisses, rounds*pages)
+	}
+	// One cold miss per page, everything after must hit.
+	if st.TLBMisses > pages {
+		t.Fatalf("sealed TLB missed %d times for %d pages; reads are walking the radix", st.TLBMisses, pages)
+	}
+}
+
+// benchReadSpace maps and pre-touches a working set for the read
+// benchmarks; sealed selects the frozen-view configuration.
+func benchReadSpace(b *testing.B, pages int, sealed bool) *AddressSpace {
+	b.Helper()
+	as := NewAddressSpace(NewFrameAllocator(0))
+	if err := as.Map(0x1000, uint64(pages)*PageSize, PermRW, "data"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		if err := as.WriteU64(0x1000+uint64(i)*PageSize, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sealed {
+		as.Seal()
+	}
+	return as
+}
+
+// BenchmarkReadU64Private / BenchmarkReadU64Sealed are the regression
+// pair for the frozen-space read penalty: before the sealed TLB, sealing
+// disabled translation caching entirely and every read of a captured
+// state paid a full radix walk. Sealed reads should now stay within ~2x
+// of private reads (the gap is the atomic-pointer load plus the shared
+// hit counters).
+func BenchmarkReadU64Private(b *testing.B) { benchReadU64(b, false) }
+
+func BenchmarkReadU64Sealed(b *testing.B) { benchReadU64(b, true) }
+
+func benchReadU64(b *testing.B, sealed bool) {
+	const pages = 16
+	as := benchReadSpace(b, pages, sealed)
+	defer as.Release()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, err := as.ReadU64(0x1000 + uint64(i%pages)*PageSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}

@@ -8,9 +8,23 @@ import (
 // Frame is a refcounted 4 KiB physical frame. Frames referenced by more
 // than one page table are immutable; writers copy them first (CoW).
 type Frame struct {
-	ref  atomic.Int32
+	ref atomic.Int32
+	// priv is the snapshot-epoch token of the owning space at the moment
+	// the frame was last privatized or written through the slow path (see
+	// AddressSpace.AdvanceEpoch). It is written only while the frame is
+	// exclusively owned — sharing a frame requires a Fork, which starts a
+	// new epoch — so plain (non-atomic) access is race-free: any goroutine
+	// that can read a stale value can only be looking at a frozen frame
+	// whose stamp no longer changes.
+	priv uint64
 	Data [PageSize]byte
 }
+
+// Epoch returns the snapshot-epoch token the frame was last privatized or
+// slow-path-written in. Incremental checkpoints compare it against the
+// epoch of their previous capture to detect dirty pages without walking a
+// baseline copy.
+func (f *Frame) Epoch() uint64 { return f.priv }
 
 // FrameAllocator hands out physical frames against a configurable limit and
 // recycles freed frames through a pool. It is safe for concurrent use; all
@@ -41,6 +55,7 @@ func (fa *FrameAllocator) Alloc() (*Frame, error) {
 	fa.total.Add(1)
 	f := fa.pool.Get().(*Frame)
 	f.Data = [PageSize]byte{}
+	f.priv = 0 // pooled frames carry a dead epoch stamp
 	f.ref.Store(1)
 	return f, nil
 }

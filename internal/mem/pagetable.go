@@ -99,6 +99,12 @@ func lookup(root *tableNode, addr uint64) *Frame {
 type pageTable struct {
 	root  *tableNode
 	alloc *FrameAllocator
+	// epoch is the space's current snapshot-epoch token, drawn from the
+	// process-wide counter so every (space, epoch) pair is globally unique.
+	// ensureFrame stamps it onto frames as they are privatized or written;
+	// a frame whose stamp equals the current token is exclusively owned by
+	// this table and was written during the current epoch.
+	epoch uint64
 }
 
 // ensureLeaf returns the exclusively-owned level-0 node covering addr,
@@ -160,6 +166,13 @@ func (pt *pageTable) ensureFrame(leaf *tableNode, idx int, stats *Stats) (*Frame
 		f = c
 		stats.CowCopies++
 	}
+	// Stamp the frame with the current epoch on every slow-path resolution,
+	// including the already-private arm: the restamp is what lets an
+	// incremental checkpoint (which advances the epoch without forking, so
+	// refcounts stay 1) see "written since the last capture" as
+	// f.priv >= captureEpoch. The frame is exclusively owned here, so the
+	// plain store cannot race with a concurrent reader.
+	f.priv = pt.epoch
 	return f, nil
 }
 

@@ -12,6 +12,7 @@ type Stats struct {
 	CowCopies  int64 // pages copied by copy-on-write faults
 	ZeroFills  int64 // demand-zero pages materialized
 	NodeClones int64 // page-table nodes path-copied
+	Epochs     int64 // snapshot-epoch advances (captures observed by this space)
 
 	// TLBHits and TLBMisses count per-page software-TLB outcomes for
 	// guest read and write data accesses (instruction fetches and the
@@ -27,6 +28,7 @@ func (s *Stats) Add(o Stats) {
 	s.CowCopies += o.CowCopies
 	s.ZeroFills += o.ZeroFills
 	s.NodeClones += o.NodeClones
+	s.Epochs += o.Epochs
 	s.TLBHits += o.TLBHits
 	s.TLBMisses += o.TLBMisses
 }

@@ -11,38 +11,38 @@ import "sync"
 //
 //   - a read entry (vpn → frame) asserts the page is mapped with PermRead
 //     and names its backing frame (nil = demand-zero);
-//   - a write entry (vpn → frame) asserts the page is mapped with
-//     PermWrite and that the frame is privately owned by this space, so a
-//     store may go straight to frame memory with no CoW check.
+//   - a write entry (vpn → frame, epoch) asserts the page is mapped with
+//     PermWrite and that the frame was privately owned by this space
+//     *during the recorded snapshot epoch*, so while the epoch still
+//     matches, a store may go straight to frame memory with no CoW check.
 //
 // Because entries cache permission and ownership decisions, they must be
 // invalidated at every boundary that could change either:
 //
-//   - Fork: the parent's privately-owned pages become shared the instant a
-//     fork exists, so Fork flushes the parent's write entries (read
-//     entries stay valid — a newly shared frame is still the correct
-//     backing for reads until this space writes it);
+//   - Capture (Fork, AdvanceEpoch): the parent's privately-owned pages
+//     become shared the instant a fork exists. Rather than flushing, the
+//     capture bumps the space's snapshot epoch; write entries carry the
+//     epoch they were filled in, so every pre-capture entry goes stale in
+//     O(1) without touching the entry block. Read entries stay valid — a
+//     newly shared frame is still the correct backing for reads until
+//     this space writes it, and the CoW fill refreshes the read entry.
 //   - Unmap, Protect, Brk shrink: mappings or permissions change, so both
 //     caches flush;
 //   - Release: the frames are gone, so both caches flush.
 //
-// A frozen snapshot space is read concurrently by workers restoring it
-// (State.Restore forks it from many goroutines at once), so Freeze
-// disables the TLB entirely: probes can never match (the entries are
-// dropped) and fills become no-ops, keeping frozen reads write-free.
+// A sealed snapshot space (Seal) is read concurrently by workers restoring
+// it (State.Restore forks it from many goroutines at once), so sealing
+// disables this single-owner TLB entirely; sealed reads instead go through
+// a separate lock-free read-only cache (see sealedTLB in addrspace.go).
 //
 // The entry arrays live behind a lazily-allocated pointer so that Fork —
 // the O(1) snapshot primitive the paper's latency claims rest on — pays
 // nothing for the TLB: a fresh fork starts with no entry block and
 // allocates one only when its first slow-path access fills an entry.
 type tlb struct {
-	// off suppresses fills (and therefore future hits): set for frozen
+	// off suppresses fills (and therefore future hits): set for sealed
 	// snapshot spaces and for benchmark baselines.
 	off bool
-	// wdirty is true when any write entry may be live; it lets Fork on a
-	// frozen, never-written space skip the flush (and thus stay free of
-	// writes under concurrent restores).
-	wdirty bool
 
 	// hits and misses count per-page fast-path outcomes for guest read
 	// and write accesses. They live here, not in Stats, so the hot path
@@ -60,11 +60,17 @@ const (
 )
 
 // tlbEntries is the direct-mapped entry block. Tags hold vpn+1 so the zero
-// value is invalid (vpn 0 — address 0 — is mappable).
+// value is invalid (vpn 0 — address 0 — is mappable). Write entries
+// additionally record the snapshot epoch they were filled in: a probe hits
+// only when both the tag and the epoch match, which is what makes capture
+// an O(1) epoch bump instead of a flush. A stale entry's frame pointer is
+// never dereferenced (the epoch check fails first), so entries need no
+// eager invalidation when the frame is later CoW-replaced or released.
 type tlbEntries struct {
 	rtag   [tlbSize]uint64
 	rframe [tlbSize]*Frame
 	wtag   [tlbSize]uint64
+	wepoch [tlbSize]uint64
 	wframe [tlbSize]*Frame
 }
 
@@ -89,15 +95,17 @@ func (t *tlb) readFrame(vpn uint64) (*Frame, bool) {
 	return e.rframe[i], true
 }
 
-// writeFrame probes the write cache. On a hit it charges the hit and
-// returns the privately-owned frame.
-func (t *tlb) writeFrame(vpn uint64) (*Frame, bool) {
+// writeFrame probes the write cache for the current snapshot epoch. On a
+// hit it charges the hit and returns the privately-owned frame; an entry
+// recorded under an earlier epoch never hits, because an intervening
+// capture may have shared the frame.
+func (t *tlb) writeFrame(vpn, epoch uint64) (*Frame, bool) {
 	e := t.e
 	if e == nil {
 		return nil, false
 	}
 	i := vpn & tlbMask
-	if e.wtag[i] != vpn+1 {
+	if e.wtag[i] != vpn+1 || e.wepoch[i] != epoch {
 		return nil, false
 	}
 	t.hits++
@@ -125,19 +133,19 @@ func (t *tlb) fillRead(vpn uint64, f *Frame) {
 	e.rframe[i] = f
 }
 
-// fillWrite records vpn → f after a slow-path write resolution, charging
-// one miss. f is privately owned (ensureFrame guarantees it). The read
-// entry for vpn, if present, is refreshed: a CoW copy just replaced the
-// frame the reader cached.
-func (t *tlb) fillWrite(vpn uint64, f *Frame) {
+// fillWrite records vpn → f under the given snapshot epoch after a
+// slow-path write resolution, charging one miss. f is privately owned
+// (ensureFrame guarantees it). The read entry for vpn, if present, is
+// refreshed: a CoW copy just replaced the frame the reader cached.
+func (t *tlb) fillWrite(vpn uint64, f *Frame, epoch uint64) {
 	if t.off {
 		return
 	}
 	t.misses++
-	t.wdirty = true
 	e := t.entries()
 	i := vpn & tlbMask
 	e.wtag[i] = vpn + 1
+	e.wepoch[i] = epoch
 	e.wframe[i] = f
 	if e.rtag[i] == vpn+1 {
 		e.rframe[i] = f
@@ -158,21 +166,6 @@ func (t *tlb) refreshRead(vpn uint64, f *Frame) {
 	}
 }
 
-// flushWrite drops every write entry (sharing boundary: Fork). The
-// no-live-entries fast path lives here rather than at call sites so a
-// sharing boundary can call it unconditionally: wdirty == false means no
-// write entry exists to go stale — in particular on frozen snapshot
-// spaces, which are forked concurrently and must not be mutated.
-func (t *tlb) flushWrite() {
-	if !t.wdirty {
-		return
-	}
-	if t.e != nil {
-		t.e.wtag = [tlbSize]uint64{}
-	}
-	t.wdirty = false
-}
-
 // flush drops every entry (mapping/permission change or release) and
 // returns the block to the pool: flush points are cold, and a released
 // space should not pin its block.
@@ -182,5 +175,4 @@ func (t *tlb) flush() {
 		tlbEntriesPool.Put(e)
 		t.e = nil
 	}
-	t.wdirty = false
 }

@@ -366,11 +366,12 @@ func TestBrkBeyondMaxVA(t *testing.T) {
 	}
 }
 
-// TestTLBConcurrentFrozenRestore mirrors the engine's sharing pattern
-// under -race: a frozen capture is forked and read by many goroutines at
-// once while each fork writes privately. The frozen space must stay
-// write-free (Freeze) and every fork must diverge correctly.
-func TestTLBConcurrentFrozenRestore(t *testing.T) {
+// TestTLBConcurrentSealedRestore mirrors the engine's sharing pattern
+// under -race: a sealed capture is forked and read by many goroutines at
+// once while each fork writes privately. The sealed space must serve every
+// read correctly through its shared read cache and every fork must diverge
+// correctly.
+func TestTLBConcurrentSealedRestore(t *testing.T) {
 	alloc := NewFrameAllocator(0)
 	parent := NewAddressSpace(alloc)
 	if err := parent.Map(0, 64*PageSize, PermRW, "data"); err != nil {
@@ -382,7 +383,7 @@ func TestTLBConcurrentFrozenRestore(t *testing.T) {
 		}
 	}
 	frozen := parent.Fork() // the capture
-	frozen.Freeze()
+	frozen.Seal()
 
 	const workers = 8
 	var wg sync.WaitGroup
@@ -421,8 +422,19 @@ func TestTLBConcurrentFrozenRestore(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if st := frozen.Stats(); st.TLBHits != 0 || st.TLBMisses != 0 {
-		t.Errorf("frozen space counted TLB traffic: %d/%d", st.TLBHits, st.TLBMisses)
+	// The sealed read cache serves the frozen reads: every frozen.ReadU64
+	// charges exactly one of hit/miss, so the two sum to the read count.
+	if st := frozen.Stats(); st.TLBHits+st.TLBMisses != workers*64 {
+		t.Errorf("sealed hits+misses = %d/%d, want sum %d", st.TLBHits, st.TLBMisses, workers*64)
+	}
+	// A sealed view is read-only by contract: writes fault like a page
+	// with no write permission.
+	err := frozen.WriteU64(0, 99)
+	if f, ok := IsFault(err); !ok || f.Kind != FaultProtection {
+		t.Errorf("write to sealed space = %v, want protection fault", err)
+	}
+	if err := frozen.WriteAt([]byte{1}, 0); err == nil {
+		t.Error("WriteAt to sealed space succeeded")
 	}
 	frozen.Release()
 	parent.Release()

@@ -121,6 +121,12 @@ type Stats struct {
 	Pinned int
 	// LiveSnapshots is the snapshot tree's live count.
 	LiveSnapshots int64
+	// Captures counts snapshots captured on the tree since it was created.
+	Captures int64
+	// CaptureNs is the cumulative wall time spent inside Tree.Capture —
+	// the capture-stall budget the epoch protocol keeps O(1) per capture,
+	// independent of the resident-set size of the captured lineage.
+	CaptureNs int64
 	// PrivateBytes / SharedBytes sum the physical footprint over every
 	// parked snapshot — memory pages plus file blocks (the solver state
 	// is parked as a file, so fs blocks carry most of it). Shared counts
@@ -942,6 +948,8 @@ func (s *Service) Stats() Stats {
 		Extends:       s.extends.Load(),
 		Evictions:     s.evictions.Load(),
 		LiveSnapshots: s.tree.Live(),
+		Captures:      s.tree.Created(),
+		CaptureNs:     s.tree.CaptureNs(),
 		Spills:        s.spills.Load(),
 		SpillFailures: s.spillFails.Load(),
 		Reloads:       s.reloads.Load(),

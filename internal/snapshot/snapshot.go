@@ -13,6 +13,7 @@ package snapshot
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fs"
 	"repro/internal/mem"
@@ -144,18 +145,25 @@ func (s *State) Restore() *Context {
 
 // Tree tracks snapshot identity and liveness statistics for one search.
 type Tree struct {
-	nextID  atomic.Uint64
-	live    atomic.Int64
-	created atomic.Int64
+	nextID    atomic.Uint64
+	live      atomic.Int64
+	created   atomic.Int64
+	captureNs atomic.Int64 // cumulative wall time spent inside Capture
 }
 
 // NewTree returns an empty snapshot tree.
 func NewTree() *Tree { return &Tree{} }
 
-// Capture freezes ctx into a new snapshot whose parent is parent (which may
+// Capture snapshots ctx into a new state whose parent is parent (which may
 // be nil for the root). The parent gains a reference; the returned snapshot
 // has one reference owned by the caller. ctx remains usable and mutable —
 // its future writes copy-on-write away from the captured state.
+//
+// Capture never stops the mutator: the cost is an O(1) fork plus a
+// snapshot-epoch bump on ctx.Mem, independent of the resident-set size,
+// and the returned State is immediately usable for Restore and inspection.
+// Sharing settles lazily — only the pages ctx actually writes afterwards
+// take a CoW fault, one per page per epoch.
 func (t *Tree) Capture(ctx *Context, parent *State) *State {
 	return t.CaptureAtDepth(ctx, parent, 0)
 }
@@ -167,13 +175,15 @@ func (t *Tree) Capture(ctx *Context, parent *State) *State {
 // the manifest recorded survives for strategies and diagnostics. With a
 // non-nil parent, depth is ignored and the child sits at parent.depth+1.
 func (t *Tree) CaptureAtDepth(ctx *Context, parent *State, depth int) *State {
+	start := time.Now()
 	out := make([]byte, len(ctx.Out))
 	copy(out, ctx.Out)
 	frozen := ctx.Mem.Fork()
 	// A captured space is shared across goroutines (restores fork it,
-	// inspectors read it concurrently); freezing disables its software
-	// TLB so those accesses never mutate it.
-	frozen.Freeze()
+	// inspectors read it concurrently); sealing switches its reads onto
+	// the lock-free shared cache so those accesses never race, while
+	// ctx.Mem keeps its own TLB live and merely enters a new epoch.
+	frozen.Seal()
 	s := &State{
 		id:     t.nextID.Add(1),
 		seq:    stateSeq.Add(1),
@@ -192,6 +202,7 @@ func (t *Tree) CaptureAtDepth(ctx *Context, parent *State, depth int) *State {
 	s.refs.Store(1)
 	t.live.Add(1)
 	t.created.Add(1)
+	t.captureNs.Add(time.Since(start).Nanoseconds())
 	return s
 }
 
@@ -200,3 +211,8 @@ func (t *Tree) Live() int64 { return t.live.Load() }
 
 // Created returns the cumulative number of snapshots captured.
 func (t *Tree) Created() int64 { return t.created.Load() }
+
+// CaptureNs returns the cumulative wall-clock nanoseconds spent capturing
+// snapshots on this tree — the capture-stall budget the epoch protocol is
+// designed to keep independent of resident-set size.
+func (t *Tree) CaptureNs() int64 { return t.captureNs.Load() }
