@@ -11,14 +11,16 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ ./internal/checkpoint/ .
+	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ ./internal/checkpoint/ ./internal/analysis/... .
 
 # lint runs reprolint, the repo's own go/analysis suite enforcing the
-# snapshot-lifecycle, lock-guard, TLB-flush, and fsync-ordering
-# invariants (see DESIGN.md "Static analysis & invariants"). Any
-# diagnostic is a hard failure.
+# snapshot-lifecycle, lock-guard, lock-order/no_block, atomic-access,
+# TLB-flush, and fsync-ordering invariants (see DESIGN.md "Static
+# analysis & invariants"). Any diagnostic is a hard failure; -time
+# prints per-analyzer wall time so a slow checker is visible here
+# before it slows CI.
 lint:
-	go run ./cmd/reprolint ./...
+	go run ./cmd/reprolint -time ./...
 
 # bench-ci emits the machine-readable quick-scale numbers CI archives
 # per commit: TLB locality (E11), work-stealing scaling (E12), the

@@ -8,36 +8,64 @@
 // runs this as a hard gate; see DESIGN.md "Static analysis &
 // invariants" for the annotation grammar the checkers understand.
 //
+// Flags:
+//
+//	-json FILE   write a machine-readable report (findings, suppressed
+//	             count, package/analyzer inventory) to FILE
+//	-time        print per-analyzer cumulative wall time to stderr
+//	-jobs N      bound the per-package worker pool (default GOMAXPROCS)
+//
 // Build with -tags reprolint_xtools (requires a populated module cache
 // for golang.org/x/tools) to also run the standard nilness, lostcancel,
 // copylocks and unusedwrite analyzers.
 package main
 
 import (
+	"flag"
 	"os"
 
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/flushcheck"
 	"repro/internal/analysis/fsyncorder"
 	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/releasecheck"
 	"repro/internal/analysis/reprolint"
 )
 
-func main() {
-	analyzers := []*reprolint.Analyzer{
+// suite is the full analyzer lineup the gate runs; the negative-control
+// tests run the same list so a mutation that slips past them would also
+// slip past CI.
+func suite() []*reprolint.Analyzer {
+	return []*reprolint.Analyzer{
 		releasecheck.Analyzer,
 		lockguard.Analyzer,
 		flushcheck.Analyzer,
 		fsyncorder.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
 	}
+}
+
+func main() {
+	var opts reprolint.Options
+	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
+	fs.StringVar(&opts.JSONPath, "json", "", "write a JSON report to this file")
+	fs.BoolVar(&opts.Time, "time", false, "print per-analyzer wall time to stderr")
+	fs.IntVar(&opts.Jobs, "jobs", 0, "per-package worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	analyzers := suite()
 	dir, err := os.Getwd()
 	if err != nil {
 		os.Stderr.WriteString("reprolint: " + err.Error() + "\n")
 		os.Exit(2)
 	}
-	code := reprolint.Main(os.Stdout, os.Stderr, dir, analyzers, os.Args[1:])
+	code := reprolint.MainOpts(os.Stdout, os.Stderr, dir, analyzers, fs.Args(), opts)
 	if code == 0 {
-		code = runExtra(dir, os.Args[1:])
+		code = runExtra(dir, fs.Args())
 	}
 	os.Exit(code)
 }

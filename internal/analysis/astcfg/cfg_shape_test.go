@@ -1,0 +1,155 @@
+package astcfg
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// blockOf returns the block holding a statement matched by pred.
+func blockOf(t *testing.T, g *Graph, pred func(ast.Node) bool, what string) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if pred(n) {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block contains %s", what)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges
+// (following zero or more edges; a block trivially reaches itself only
+// via a real cycle when proper is set).
+func reaches(from, to *Block, proper bool) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to && (b != from || !proper || seen[b]) {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// TestGotoIntoLoopBody: a forward goto that jumps into the middle of a
+// loop body. The jumped-to statement must be reachable from entry via
+// the goto edge, and must still sit on the loop's cycle so a second
+// iteration re-executes it.
+func TestGotoIntoLoopBody(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	goto inner
+	for {
+	inner:
+		work()
+		if c {
+			return
+		}
+	}
+}`)
+	workBlk := blockOf(t, g, isCall("work"), "work()")
+	if !reaches(g.Entry, workBlk, false) {
+		t.Error("goto target inside the loop is unreachable from entry")
+	}
+	if !reaches(workBlk, workBlk, true) {
+		t.Error("goto target is not on the loop's cycle (no back edge)")
+	}
+	// The only exit is the guarded return; the loop itself never falls
+	// through, so every path from work() to an exit passes the return.
+	if _, leak := g.PathTo(nil, anyExit, isCall("work")); leak {
+		t.Error("an exit is reachable without executing the goto target")
+	}
+}
+
+// TestLabeledBreakContinueInSelect: break and continue with the loop's
+// label, written inside select arms, must target the loop — not the
+// select. The break arm reaches after() without re-entering the loop;
+// the continue arm loops back without reaching after() on that edge.
+func TestLabeledBreakContinueInSelect(t *testing.T) {
+	g := buildFunc(t, `func f() {
+loop:
+	for {
+		pre()
+		select {
+		case <-a:
+			exitArm()
+			break loop
+		case <-b:
+			againArm()
+			continue loop
+		case <-c:
+			work()
+		}
+	}
+	after()
+}`)
+	preBlk := blockOf(t, g, isCall("pre"), "pre()")
+	exitBlk := blockOf(t, g, isCall("exitArm"), "exitArm()")
+	againBlk := blockOf(t, g, isCall("againArm"), "againArm()")
+	afterBlk := blockOf(t, g, isCall("after"), "after()")
+
+	if !reaches(exitBlk, afterBlk, false) {
+		t.Error("break loop: select arm does not reach the statement after the loop")
+	}
+	if reaches(exitBlk, preBlk, false) {
+		t.Error("break loop: arm can re-enter the loop (break resolved to the select, not the loop)")
+	}
+	if !reaches(againBlk, preBlk, false) {
+		t.Error("continue loop: select arm does not loop back to the loop body")
+	}
+	if !preBlk.Succs[0].Exit && !reaches(preBlk, preBlk, true) {
+		t.Error("loop head lost its cycle")
+	}
+	// The plain arm falls through the select back into the loop.
+	workBlk := blockOf(t, g, isCall("work"), "work()")
+	if !reaches(workBlk, preBlk, false) {
+		t.Error("plain select arm does not continue the loop")
+	}
+}
+
+// TestDeferInLoop: a defer inside a loop body is collected once, sits
+// on the loop's cycle, and PathTo's stop predicate can still see it —
+// the every-path treatment of defers is Defers-list based, so the
+// CFG must not hoist or drop the statement.
+func TestDeferInLoop(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	for i := 0; i < n; i++ {
+		defer cleanup()
+		work()
+	}
+	after()
+}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1 (the in-loop defer, collected once)", len(g.Defers))
+	}
+	isDefer := func(n ast.Node) bool { _, ok := n.(*ast.DeferStmt); return ok }
+	deferBlk := blockOf(t, g, isDefer, "defer cleanup()")
+	if !reaches(deferBlk, deferBlk, true) {
+		t.Error("in-loop defer is not on the loop's cycle")
+	}
+	afterBlk := blockOf(t, g, isCall("after"), "after()")
+	if !reaches(deferBlk, afterBlk, false) {
+		t.Error("loop body does not reach the statement after the loop")
+	}
+	// A zero-iteration run skips the defer entirely: the exit must be
+	// reachable without passing the defer statement.
+	if _, leak := g.PathTo(nil, anyExit, isDefer); !leak {
+		t.Error("exit unreachable without the defer — loop body treated as unconditional")
+	}
+}

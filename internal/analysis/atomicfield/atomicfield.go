@@ -1,0 +1,227 @@
+// Package atomicfield implements reprolint's atomic-access analyzer.
+// Two invariants, both whole-program (the atomic access and the plain
+// access are often in different packages):
+//
+//  1. Mixed access. A struct field or package-level variable whose
+//     address is ever passed to a sync/atomic function
+//     (atomic.LoadUint64(&s.gen), atomic.AddInt64(&ops, 1), ...) is an
+//     atomic location: every other mention of it must also be through
+//     sync/atomic. A plain read or write — even a seemingly innocent
+//     `s.gen++` on an "initialization" path — is a data race the race
+//     detector only catches when the schedule cooperates; this check
+//     catches it structurally. Taking the address for any other purpose
+//     is flagged too, since the alias escapes the discipline.
+//
+//  2. Value copies. Typed atomics (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], ...) must never be copied by value: a copy
+//     snapshots the bits but forks the location, so updates through the
+//     copy are invisible to readers of the original. Assignments,
+//     arguments, returns, composite-literal elements and channel sends
+//     of atomic values are reported. (Ranging over a container of
+//     atomics is a known hole; `go vet`'s copylocks covers part of it.)
+//
+// Suppress with `//lint:ignore atomicfield <reason>` — e.g. for a plain
+// read inside a constructor before the value is published.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &reprolint.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "fields accessed via sync/atomic must never see plain loads/stores; typed atomics must not be copied",
+	RunProgram: run,
+}
+
+func run(pass *reprolint.ProgramPass) error {
+	// Pass 1: find every location whose address flows into a sync/atomic
+	// call, remembering one witnessing position per location and the
+	// exact AST nodes that are sanctioned atomic accesses.
+	atomicAt := map[types.Object]token.Pos{}
+	sanctioned := map[ast.Node]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFunc(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					inner := ast.Unparen(un.X)
+					obj := refObj(info, inner)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicAt[obj]; !seen {
+						atomicAt[obj] = call.Pos()
+					}
+					sanctioned[inner] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every other mention of an atomic location is a finding,
+	// and every by-value use of a typed atomic is a copy.
+	for _, pkg := range pass.Prog.Pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			checkMixed(pass, info, f, atomicAt, sanctioned)
+			checkCopies(pass, info, f)
+		}
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether call invokes a function from sync/atomic
+// (atomic.AddInt64, atomic.CompareAndSwapPointer, ...).
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc && obj.Pkg().Path() == "sync/atomic"
+}
+
+// refObj resolves an expression to the field or variable object it
+// names: `s.gen` to the gen field, `ops` to the package var. Index
+// expressions and pointer chains resolve to the final selected object.
+func refObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkMixed reports plain mentions of atomic locations.
+func checkMixed(pass *reprolint.ProgramPass, info *types.Info, f *ast.File, atomicAt map[types.Object]token.Pos, sanctioned map[ast.Node]bool) {
+	if len(atomicAt) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sanctioned[n] {
+			// The &x.f operand of a sync/atomic call: skip it and its
+			// children (the selector's idents would otherwise re-match).
+			return false
+		}
+		var obj types.Object
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				obj = sel.Obj()
+			}
+		case *ast.Ident:
+			obj = info.Uses[x]
+			if _, isVar := obj.(*types.Var); !isVar {
+				obj = nil
+			}
+			// Field idents inside an unsanctioned selector are reported
+			// at the selector; declaration-site idents are fine.
+		}
+		if obj == nil {
+			return true
+		}
+		if witness, ok := atomicAt[obj]; ok {
+			pass.Reportf(n.Pos(), "plain access to %s, which is accessed atomically (e.g. at %s); use sync/atomic for every access",
+				obj.Name(), pass.Prog.Fset.Position(witness))
+			return false
+		}
+		return true
+	})
+}
+
+// checkCopies reports by-value uses of typed sync/atomic values.
+func checkCopies(pass *reprolint.ProgramPass, info *types.Info, f *ast.File) {
+	copyCheck := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		e = ast.Unparen(e)
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return // a freshly built value, not a copy of a live one
+		}
+		tv, ok := info.Types[e]
+		if !ok || !isTypedAtomic(tv.Type) {
+			return
+		}
+		pass.Reportf(e.Pos(), "copying %s value: the copy forks the atomic location, so updates through one are invisible through the other; share a pointer instead",
+			tv.Type.String())
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				copyCheck(r)
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				copyCheck(v)
+			}
+		case *ast.CallExpr:
+			if isConversion(info, x) {
+				return true
+			}
+			for _, arg := range x.Args {
+				copyCheck(arg)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				copyCheck(r)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				copyCheck(el)
+			}
+		case *ast.SendStmt:
+			copyCheck(x.Value)
+		}
+		return true
+	})
+}
+
+// isTypedAtomic reports whether t is a named value type from
+// sync/atomic (Int64, Uint32, Bool, Value, Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isConversion reports whether call is a type conversion, not a call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	antest.Run(t, "../testdata", atomicfield.Analyzer, "atomictest")
+}

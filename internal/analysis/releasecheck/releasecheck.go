@@ -1,25 +1,29 @@
-// Package releasecheck implements reprolint's ownership analyzer: a
-// flow-sensitive (per-function, CFG-based) check that every value
-// obtained from a snapshot/frame acquisition function reaches a Release
-// or an ownership transfer on every control-flow path — early
-// `return err` paths included.
+// Package releasecheck implements reprolint's ownership analyzer. Since
+// PR 8 it is whole-program: a CHA call graph (internal/analysis/callgraph)
+// and bottom-up ownership summaries let it see through helper chains, so
+// helpers that release or transfer their arguments are inferred instead
+// of annotated.
 //
-// Acquisitions are calls to functions/methods on the acquisition name
-// list (Capture, CaptureAtDepth, Retain, Restore, Fork, Alloc, clone,
-// Materialize, Snapshot, Load, Get) whose first result is a pointer to a
-// struct — the shape of snapshot.State, snapshot.Context,
-// mem.AddressSpace, mem.Frame, fs.FS and fs.Snapshot handles. The
-// refcount arithmetic itself (N retains for N queue items) is runtime
-// business — the tree's Live counters and the -race suites own it; this
-// checker owns the structural property that no path simply forgets the
-// value.
+// Three diagnostics, all flow-sensitive over the per-function CFG:
+//
+//  1. Leak: a value obtained from a snapshot/frame acquisition function
+//     (Capture, Fork, Retain, Alloc, ... — callgraph.AcqNames) reaches a
+//     function exit on some path without being released or transferred.
+//     Passing the value to a callee whose summary says it merely
+//     *borrows* the matching parameter discharges nothing — only calls
+//     that release or store the value (or calls the graph cannot
+//     resolve, conservatively) do.
+//  2. Double release: a path releases the same value twice — directly,
+//     or through a helper chain whose summary releases the matching
+//     parameter.
+//  3. Use after release: a path mentions the value after a release event
+//     (rebinding the variable resets tracking; transfers end it).
 //
 // An obligation is discharged by, on every path to an exit:
 //   - a call to a releasing method on the value (Release, Close),
-//   - a transfer: the value passed as a call argument, placed in a
-//     composite literal, returned, assigned (ownership moves with the
-//     value), sent on a channel, address-taken, or captured by a
-//     function literal,
+//   - a transfer: the value returned, stored in a composite literal /
+//     field / channel / another variable, address-taken, captured by a
+//     closure, or passed to a callee that releases or stores it,
 //   - a deferred statement mentioning the value (defers run at every
 //     exit), or
 //   - the path being unreachable on success: returns inside an
@@ -28,10 +32,11 @@
 //
 // A deliberate hand-off the analyzer cannot see is silenced with
 // `//lint:ownership transferred <why>` on the acquisition line or the
-// line above. A discarded acquisition result (`tree.Capture(ctx, p)` as
-// a bare statement) is reported unconditionally; a bare `x.Retain()`
-// statement is the blessed refcount-bump idiom and is neither an
-// acquisition nor a discharge.
+// line above; double-release/use-after-release findings honor the
+// general `//lint:ignore releasecheck <why>`. A discarded acquisition
+// result (`tree.Capture(ctx, p)` as a bare statement) is reported
+// unconditionally; a bare `x.Retain()` statement is the blessed
+// refcount-bump idiom and is neither an acquisition nor a discharge.
 package releasecheck
 
 import (
@@ -40,45 +45,22 @@ import (
 	"go/types"
 
 	"repro/internal/analysis/astcfg"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/reprolint"
 )
 
 // Analyzer is the releasecheck analyzer.
 var Analyzer = &reprolint.Analyzer{
-	Name: "releasecheck",
-	Doc:  "acquired snapshots/frames must be released or transferred on every path",
-	Run:  run,
+	Name:       "releasecheck",
+	Doc:        "acquired snapshots/frames must be released or transferred exactly once on every path",
+	RunProgram: run,
 }
 
-// acqNames are the function/method names whose pointer-to-struct results
-// carry an ownership obligation.
-var acqNames = map[string]bool{
-	"Capture":        true,
-	"CaptureAtDepth": true,
-	"Retain":         true,
-	"Restore":        true,
-	"Fork":           true,
-	"Alloc":          true,
-	"clone":          true,
-	"Materialize":    true,
-	"Snapshot":       true,
-	"Load":           true,
-	"Get":            true,
-}
-
-// releaseNames are methods whose call on the value discharges it.
-var releaseNames = map[string]bool{
-	"Release": true,
-	"Close":   true,
-	"release": true,
-	"Free":    true,
-}
-
-func run(pass *reprolint.Pass) error {
-	for _, file := range pass.Files {
-		for _, scope := range reprolint.FuncScopes(file) {
-			checkScope(pass, scope)
-		}
+func run(pass *reprolint.ProgramPass) error {
+	g := callgraph.Build(pass.Prog)
+	sums := g.Summaries()
+	for _, n := range g.Nodes {
+		checkNode(pass, n, sums)
 	}
 	return nil
 }
@@ -90,11 +72,17 @@ type obligation struct {
 	callee  string       // acquisition name, for the message
 }
 
-func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
-	var graph *astcfg.Graph // built lazily: most functions acquire nothing
-	var obls []obligation
+// checkNode runs the leak check and the release-state machine over one
+// function body.
+func checkNode(pass *reprolint.ProgramPass, node *callgraph.Node, sums map[*callgraph.Node]*callgraph.Summary) {
+	info := node.Pkg.TypesInfo
+	edgeOf := map[*ast.CallExpr]callgraph.Edge{}
+	for _, e := range node.Calls {
+		edgeOf[e.Site] = e
+	}
 
-	reprolint.InspectShallow(scope.Body, func(n ast.Node) bool {
+	var obls []obligation
+	reprolint.InspectShallow(node.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			if len(n.Rhs) != 1 {
@@ -104,7 +92,7 @@ func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
 			if !ok {
 				return true
 			}
-			name, acq := isAcquisition(pass.TypesInfo, call)
+			name, acq := isAcquisition(info, call)
 			if !acq {
 				return true
 			}
@@ -116,14 +104,14 @@ func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
 				return true
 			}
 			if lhs.Name == "_" {
-				if name != "Retain" && hasReleaseMethod(pass.TypesInfo, call) {
+				if name != "Retain" && hasReleaseMethod(info, call) {
 					pass.Reportf(n.Pos(), "result of %s is discarded; the acquired value can never be released", name)
 				}
 				return true
 			}
-			varObj := pass.TypesInfo.Defs[lhs]
+			varObj := info.Defs[lhs]
 			if varObj == nil {
-				varObj = pass.TypesInfo.Uses[lhs]
+				varObj = info.Uses[lhs]
 			}
 			if varObj == nil {
 				return true
@@ -131,9 +119,9 @@ func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
 			var errObj types.Object
 			for _, l := range n.Lhs[1:] {
 				if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
-					obj := pass.TypesInfo.Defs[id]
+					obj := info.Defs[id]
 					if obj == nil {
-						obj = pass.TypesInfo.Uses[id]
+						obj = info.Uses[id]
 					}
 					if obj != nil && reprolint.IsErrorType(obj.Type()) {
 						errObj = obj
@@ -146,52 +134,129 @@ func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope) {
 			if !ok {
 				return true
 			}
-			if name, acq := isAcquisition(pass.TypesInfo, call); acq && name != "Retain" && hasReleaseMethod(pass.TypesInfo, call) {
+			if name, acq := isAcquisition(info, call); acq && name != "Retain" && hasReleaseMethod(info, call) {
 				pass.Reportf(n.Pos(), "result of %s is discarded; the acquired value can never be released", name)
 			}
 		}
 		return true
 	})
 
-	if len(obls) == 0 {
+	// The state machine also tracks reference-like parameters: a helper
+	// that releases its argument twice, or touches it after handing it
+	// to a releasing callee, is a bug whether or not the value was
+	// acquired here.
+	params := referenceParams(node)
+
+	if len(obls) == 0 && len(params) == 0 {
 		return
 	}
-	graph = astcfg.Build(scope.Body)
+	graph := astcfg.Build(node.Body)
 
 	for _, o := range obls {
-		if deferConsumes(graph, pass.TypesInfo, o.varObj) {
+		checkFlow(pass, node, graph, o, edgeOf, sums)
+	}
+	sm := &stateMachine{pass: pass, node: node, graph: graph, edgeOf: edgeOf, sums: sums}
+	for _, o := range obls {
+		if refcounted(info, node.Body, o.varObj) {
 			continue
 		}
-		exempt := reprolint.ErrGuardedNodes(scope.Body, pass.TypesInfo, o.errObj)
-		stop := func(n ast.Node) bool {
-			return consumes(pass.TypesInfo, n, o.varObj)
+		sm.check(o.varObj, o.acqStmt)
+	}
+	for _, p := range params {
+		if refcounted(info, node.Body, p) {
+			continue
 		}
-		bad := func(n ast.Node) bool {
-			if n == nil {
-				return true // implicit end-of-body return
-			}
-			ret, ok := n.(*ast.ReturnStmt)
-			if !ok {
-				return false
-			}
-			if exempt[ret] {
-				return false // the acquisition failed; nothing to release
-			}
-			if o.errObj != nil && mentionsObj(pass.TypesInfo, ret, o.errObj) {
-				return false // propagating the paired error
-			}
+		sm.check(p, nil)
+	}
+}
+
+// retainNames are the refcount-bump method names.
+var retainNames = map[string]bool{
+	"Retain": true, "retain": true, "Ref": true, "IncRef": true,
+}
+
+// refcounted reports whether obj's refcount is bumped somewhere in the
+// body. Multiple releases of such a handle each drop one reference —
+// counting them is beyond the automaton, so the double-release and
+// use-after-release checks stand down (the leak check still runs).
+func refcounted(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		if leak, ok := graph.PathTo(o.acqStmt, bad, stop); ok {
-			where := "the end of the function"
-			if ret, isRet := leak.(*ast.ReturnStmt); isRet && ret != nil {
-				where = pass.Fset.Position(ret.Pos()).String()
-			}
-			pass.Reportf(o.acqStmt.Pos(),
-				"%s obtained from %s is neither released nor transferred on the path reaching %s",
-				o.varObj.Name(), o.callee, where)
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !retainNames[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFlow is the leak check: a path from the acquisition to a
+// non-exempt exit with no consuming node.
+func checkFlow(pass *reprolint.ProgramPass, node *callgraph.Node, graph *astcfg.Graph, o obligation, edgeOf map[*ast.CallExpr]callgraph.Edge, sums map[*callgraph.Node]*callgraph.Summary) {
+	info := node.Pkg.TypesInfo
+	if deferConsumes(graph, info, o.varObj) {
+		return
+	}
+	exempt := reprolint.ErrGuardedNodes(node.Body, info, o.errObj)
+	stop := func(n ast.Node) bool {
+		return consumes(info, n, o.varObj, edgeOf, sums)
+	}
+	bad := func(n ast.Node) bool {
+		if n == nil {
+			return true // implicit end-of-body return
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return false
+		}
+		if exempt[ret] {
+			return false // the acquisition failed; nothing to release
+		}
+		if o.errObj != nil && mentionsObj(info, ret, o.errObj) {
+			return false // propagating the paired error
+		}
+		return true
+	}
+	if leak, ok := graph.PathTo(o.acqStmt, bad, stop); ok {
+		where := "the end of the function"
+		if ret, isRet := leak.(*ast.ReturnStmt); isRet && ret != nil {
+			where = pass.Prog.Fset.Position(ret.Pos()).String()
+		}
+		pass.Reportf(o.acqStmt.Pos(),
+			"%s obtained from %s is neither released nor transferred on the path reaching %s",
+			o.varObj.Name(), o.callee, where)
+	}
+}
+
+// referenceParams returns the node's parameter/receiver objects whose
+// types are reference-like (carry a release-family method).
+func referenceParams(node *callgraph.Node) []types.Object {
+	sig := node.Signature()
+	if sig == nil {
+		return nil
+	}
+	var out []types.Object
+	add := func(v *types.Var) {
+		if v != nil && v.Name() != "" && v.Name() != "_" && callgraph.ReferenceLike(v.Type()) {
+			out = append(out, v)
 		}
 	}
+	add(sig.Recv())
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i))
+	}
+	return out
 }
 
 // isAcquisition reports whether call is an ownership-creating call: its
@@ -213,7 +278,7 @@ func isAcquisition(info *types.Info, call *ast.CallExpr) (string, bool) {
 	default:
 		return "", false
 	}
-	if !acqNames[name] {
+	if !callgraph.AcqNames[name] {
 		return "", false
 	}
 	tv, ok := info.Types[call]
@@ -268,7 +333,7 @@ func hasReleaseMethod(info *types.Info, call *ast.CallExpr) bool {
 	}
 	ms := types.NewMethodSet(t)
 	for i := 0; i < ms.Len(); i++ {
-		if releaseNames[ms.At(i).Obj().Name()] {
+		if callgraph.ReleaseNames[ms.At(i).Obj().Name()] {
 			return true
 		}
 	}
@@ -276,8 +341,11 @@ func hasReleaseMethod(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // consumes reports whether executing node n discharges the obligation on
-// obj: a releasing method call, or any transfer of the value.
-func consumes(info *types.Info, n ast.Node, obj types.Object) bool {
+// obj: a releasing method call, or any transfer of the value. Passing
+// the value to a callee whose summary borrows the matching parameter is
+// NOT a discharge — the interprocedural upgrade over the per-function
+// analyzer.
+func consumes(info *types.Info, n ast.Node, obj types.Object, edgeOf map[*ast.CallExpr]callgraph.Edge, sums map[*callgraph.Node]*callgraph.Summary) bool {
 	if n == nil {
 		return false
 	}
@@ -294,17 +362,24 @@ func consumes(info *types.Info, n ast.Node, obj types.Object) bool {
 		switch x := node.(type) {
 		case *ast.CallExpr:
 			// x.Release() / x.Close(): releasing method on the value.
+			// Only zero-argument forms release their receiver — with
+			// arguments the call releases the arguments instead
+			// (`fa.release(frame)`), handled below.
 			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
-				if releaseNames[sel.Sel.Name] && usesObj(sel.X) {
+				if callgraph.ReleaseNames[sel.Sel.Name] && len(x.Args) == 0 && usesObj(sel.X) {
 					found = true
 					return
 				}
 			}
-			// The value as an argument to any call: transfer.
-			for _, arg := range x.Args {
+			// The value as an argument: a transfer only when the callee
+			// may release or store it (or cannot be resolved).
+			for ai, arg := range x.Args {
 				if usesObj(arg) {
-					found = true
-					return
+					rel, esc := callgraph.ArgFate(info, edgeOf[x], x, ai, sums)
+					if rel || esc {
+						found = true
+						return
+					}
 				}
 			}
 		case *ast.CompositeLit:

@@ -3,6 +3,7 @@ package reprolint
 import (
 	"go/ast"
 	"go/token"
+	"strconv"
 	"strings"
 )
 
@@ -45,6 +46,19 @@ import (
 //	    On a function: it renames/creates files AND syncs their
 //	    directory entries internally, so calls to it are already-synced
 //	    publishes for fsyncorder.
+//
+//	// lock_rank: <int> [prose]
+//	    On a mutex field or package-level mutex var: its position in the
+//	    global acquisition order. While a lock of rank r is held, only
+//	    locks of strictly greater rank may be acquired (lockorder).
+//	    Unranked locks are still covered by cycle detection.
+//
+//	// no_block: <reason>
+//	    On a mutex field or package-level mutex var: its critical
+//	    sections must not block — no channel send/receive outside a
+//	    select with a default, no further Lock of any class, no file
+//	    I/O, no Cond/WaitGroup waits, directly or through any resolved
+//	    callee (lockorder).
 
 // FuncAnn is the set of function-level directives.
 type FuncAnn struct {
@@ -98,6 +112,42 @@ func FieldGuards(f *ast.Field) []string {
 		}
 	}
 	return out
+}
+
+// LockAnn is the set of lock-discipline directives on a mutex field or
+// package-level mutex var declaration.
+type LockAnn struct {
+	Rank    int
+	HasRank bool
+	NoBlock bool
+}
+
+// LockAnnotation parses the lock-discipline directives out of the
+// comment groups attached to a declaration (doc and trailing comment).
+func LockAnnotation(groups ...*ast.CommentGroup) LockAnn {
+	var a LockAnn
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			line := directiveText(c.Text)
+			switch {
+			case directiveIs(line, "lock_rank"):
+				if _, rest, ok := strings.Cut(line, ":"); ok {
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						if n, err := strconv.Atoi(fields[0]); err == nil {
+							a.Rank, a.HasRank = n, true
+						}
+					}
+				}
+			case directiveIs(line, "no_block"):
+				a.NoBlock = true
+			}
+		}
+	}
+	return a
 }
 
 // directiveText strips the comment markers and leading space.
@@ -190,16 +240,19 @@ func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 }
 
 // filterIgnored drops diagnostics suppressed by a directive on their own
-// line or the line directly above (the directive-on-its-own-line idiom).
-func (a *Annotations) filterIgnored(diags []Diagnostic) []Diagnostic {
+// line or the line directly above (the directive-on-its-own-line idiom),
+// returning the survivors and the number suppressed.
+func (a *Annotations) filterIgnored(diags []Diagnostic) ([]Diagnostic, int) {
 	out := diags[:0]
+	suppressed := 0
 	for _, d := range diags {
 		if a.suppressed(d) {
+			suppressed++
 			continue
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, suppressed
 }
 
 func (a *Annotations) suppressed(d Diagnostic) bool {

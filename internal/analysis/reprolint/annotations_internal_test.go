@@ -30,9 +30,9 @@ var b int
 		}
 	}
 	// Line 4 is `var a` (directive above lacks a reason); line 7 is `var b`.
-	got := ann.filterIgnored([]Diagnostic{mk(4), mk(7)})
-	if len(got) != 1 || got[0].Pos.Line != 4 {
-		t.Errorf("filterIgnored = %v, want only the reasonless line-4 diagnostic kept", got)
+	got, suppressed := ann.filterIgnored([]Diagnostic{mk(4), mk(7)})
+	if len(got) != 1 || got[0].Pos.Line != 4 || suppressed != 1 {
+		t.Errorf("filterIgnored = %v (suppressed %d), want only the reasonless line-4 diagnostic kept", got, suppressed)
 	}
 }
 
@@ -52,8 +52,8 @@ var a int
 	ann := CollectAnnotations(fset, []*ast.File{f})
 	rel := Diagnostic{Pos: token.Position{Filename: "x.go", Line: 4}, Analyzer: "releasecheck"}
 	other := Diagnostic{Pos: token.Position{Filename: "x.go", Line: 4}, Analyzer: "lockguard"}
-	got := ann.filterIgnored([]Diagnostic{rel, other})
-	if len(got) != 1 || got[0].Analyzer != "lockguard" {
-		t.Errorf("filterIgnored = %v, want only the lockguard diagnostic kept", got)
+	got, suppressed := ann.filterIgnored([]Diagnostic{rel, other})
+	if len(got) != 1 || got[0].Analyzer != "lockguard" || suppressed != 1 {
+		t.Errorf("filterIgnored = %v (suppressed %d), want only the lockguard diagnostic kept", got, suppressed)
 	}
 }

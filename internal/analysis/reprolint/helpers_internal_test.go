@@ -1,0 +1,204 @@
+package reprolint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and typechecks one import-free source file.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "h.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewTypesInfo()
+	if _, err := (&types.Config{}).Check("h", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+func TestLockAnnotation(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "l.go", `package h
+
+import "sync"
+
+type s struct {
+	ranked   sync.Mutex // lock_rank: 30 innermost table lock
+	hot      sync.Mutex // no_block: hot path
+	plain    sync.Mutex
+	badRank  sync.Mutex // lock_rank: not-a-number
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := f.Decls[1].(*ast.GenDecl).Specs[0].(*ast.TypeSpec).Type.(*ast.StructType).Fields.List
+	byName := map[string]LockAnn{}
+	for _, fd := range fields {
+		byName[fd.Names[0].Name] = LockAnnotation(fd.Doc, fd.Comment)
+	}
+	if a := byName["ranked"]; !a.HasRank || a.Rank != 30 || a.NoBlock {
+		t.Errorf("ranked = %+v, want rank 30", a)
+	}
+	if a := byName["hot"]; !a.NoBlock || a.HasRank {
+		t.Errorf("hot = %+v, want no_block only", a)
+	}
+	if a := byName["plain"]; a.HasRank || a.NoBlock {
+		t.Errorf("plain = %+v, want empty", a)
+	}
+	if a := byName["badRank"]; a.HasRank {
+		t.Errorf("badRank = %+v, malformed rank must not parse", a)
+	}
+}
+
+func TestSuccessReturnClassification(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package h
+
+type boom struct{}
+
+func (boom) Error() string { return "boom" }
+
+var errBoom error = boom{}
+
+func twoRes(ok bool) (int, error) {
+	if ok {
+		return 1, nil
+	}
+	return 0, errBoom
+}
+
+func noErr() int { return 7 }
+`)
+	sigOf := func(name string) *types.Signature {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return info.Defs[fd.Name].(*types.Func).Signature()
+			}
+		}
+		t.Fatalf("no func %s", name)
+		return nil
+	}
+	var rets []*ast.ReturnStmt
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name == "Error" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				rets = append(rets, r)
+			}
+			return true
+		})
+	}
+	if len(rets) != 3 {
+		t.Fatalf("found %d returns, want 3", len(rets))
+	}
+	two := sigOf("twoRes")
+	if ErrorResultIndex(two) != 1 {
+		t.Errorf("twoRes error index = %d, want 1", ErrorResultIndex(two))
+	}
+	if !SuccessReturn(rets[0], two) {
+		t.Error("return 1, nil classified as failure")
+	}
+	if SuccessReturn(rets[1], two) {
+		t.Error("return 0, errBoom classified as success")
+	}
+	none := sigOf("noErr")
+	if ErrorResultIndex(none) != -1 {
+		t.Error("noErr reported an error result")
+	}
+	if !SuccessReturn(rets[2], none) || !SuccessReturn(nil, two) {
+		t.Error("error-free return or implicit return classified as failure")
+	}
+}
+
+func TestErrGuardedNodes(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package h
+
+type boom struct{}
+
+func (boom) Error() string { return "x" }
+
+func acq() (int, error) { return 1, boom{} }
+
+func use() int {
+	v, err := acq()
+	if err != nil {
+		return 0
+	}
+	if err == nil {
+		v++
+	} else {
+		v--
+	}
+	return v
+}
+`)
+	var body *ast.BlockStmt
+	var errObj types.Object
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "use" {
+			body = fd.Body
+			assign := body.List[0].(*ast.AssignStmt)
+			errObj = info.Defs[assign.Lhs[1].(*ast.Ident)]
+		}
+	}
+	guarded := ErrGuardedNodes(body, info, errObj)
+	// The then-branch of `if err != nil` and the else-branch of
+	// `if err == nil` run only on failure; the nil-branch v++ does not.
+	var zeroRet, decStmt, incStmt ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if len(s.Results) == 1 {
+				if bl, ok := s.Results[0].(*ast.BasicLit); ok && bl.Value == "0" {
+					zeroRet = s
+				}
+			}
+		case *ast.IncDecStmt:
+			if s.Tok == token.DEC {
+				decStmt = s
+			} else {
+				incStmt = s
+			}
+		}
+		return true
+	})
+	if !guarded[zeroRet] || !guarded[decStmt] {
+		t.Error("failure-only branches not marked err-guarded")
+	}
+	if guarded[incStmt] {
+		t.Error("success branch wrongly marked err-guarded")
+	}
+	if len(ErrGuardedNodes(body, info, nil)) != 0 {
+		t.Error("nil errObj must guard nothing")
+	}
+}
+
+func TestIsNilIdentAndErrorType(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package h
+
+var e error
+
+var x = (interface{})(nil)
+`)
+	if !IsErrorType(info.Defs[f.Decls[0].(*ast.GenDecl).Specs[0].(*ast.ValueSpec).Names[0]].Type()) {
+		t.Error("error var not recognized as error type")
+	}
+	spec := f.Decls[1].(*ast.GenDecl).Specs[0].(*ast.ValueSpec)
+	call := spec.Values[0].(*ast.CallExpr)
+	if !IsNilIdent(call.Args[0]) {
+		t.Error("nil literal not recognized")
+	}
+	if IsNilIdent(spec.Names[0]) {
+		t.Error("non-nil ident recognized as nil")
+	}
+}

@@ -1,0 +1,71 @@
+// Package atomictest exercises atomicfield: mixed plain/atomic access
+// to fields and package variables, value copies of typed atomics, the
+// suppression directive, and clean negatives.
+package atomictest
+
+import "sync/atomic"
+
+type Counter struct {
+	ops  int64  // accessed via atomic.AddInt64/LoadInt64
+	gen  uint64 // accessed via atomic.AddUint64
+	size int64  // plain on purpose; never touched atomically
+}
+
+func (c *Counter) bump()       { atomic.AddInt64(&c.ops, 1) }
+func (c *Counter) read() int64 { return atomic.LoadInt64(&c.ops) }
+func (c *Counter) bumpGen()    { atomic.AddUint64(&c.gen, 1) }
+
+// badPlainRead mixes a plain load into an atomic field.
+func (c *Counter) badPlainRead() int64 {
+	return c.ops // want `plain access to ops`
+}
+
+// badPlainWrite mixes a plain store into an atomic field.
+func (c *Counter) badPlainWrite() {
+	c.gen = 0 // want `plain access to gen`
+}
+
+// goodPlainField: size is never accessed atomically, so plain access is
+// fine.
+func (c *Counter) goodPlainField() int64 { return c.size }
+
+// newCounter documents the pre-publication plain write: the directive
+// is load-bearing (deleting it fails the build gate).
+func newCounter() *Counter {
+	c := &Counter{}
+	//lint:ignore atomicfield counter not yet published; no concurrent readers exist
+	c.gen = 1
+	return c
+}
+
+var hits int64
+
+func addHit() { atomic.AddInt64(&hits, 1) }
+
+// badVarRead: package-level vars are held to the same discipline.
+func badVarRead() int64 {
+	return hits // want `plain access to hits`
+}
+
+type Stats struct {
+	n atomic.Int64
+}
+
+// ok uses the typed atomic through its methods: clean.
+func (s *Stats) ok() int64 { return s.n.Load() }
+
+// badCopyAssign copies a typed atomic by value.
+func badCopyAssign(s *Stats) {
+	n := s.n // want `copying sync/atomic.Int64`
+	_ = n.Load()
+}
+
+func take(v atomic.Int64) int64 { return v.Load() }
+
+// badCopyArg passes a typed atomic by value.
+func badCopyArg(s *Stats) int64 {
+	return take(s.n) // want `copying sync/atomic.Int64`
+}
+
+// goodPointerShare shares the atomic by pointer: clean.
+func goodPointerShare(s *Stats) *atomic.Int64 { return &s.n }

@@ -20,7 +20,23 @@ func Capture() *State { return &State{refs: 1} }
 // Alloc mirrors FrameAllocator.Alloc: acquisition with a paired error.
 func Alloc() (*State, error) { return &State{refs: 1}, nil }
 
-func register(s *State) {}
+// registry gives register a real escape: the summary layer classifies a
+// parameter as transferred only when the callee body actually stores or
+// releases it, so an empty helper would (correctly) count as borrowing.
+var registry []*State
+
+func register(s *State) { registry = append(registry, s) }
+
+// inspect merely reads the handle: its parameter summary is Borrowed,
+// so passing a value to it discharges nothing.
+func inspect(s *State) int { return s.refs }
+
+// dispose releases its argument; callers must not release again.
+func dispose(s *State) { s.Release() }
+
+// disposeVia is a helper chain: dispose-through-one-more-hop. The
+// summary fixpoint propagates Releases bottom-up through it.
+func disposeVia(s *State) { dispose(s) }
 
 var cond bool
 
@@ -103,6 +119,71 @@ func suppressedHandOff() {
 	//lint:ownership transferred handle parked for an external harness to release
 	s := Capture()
 	_ = s.refs
+}
+
+// goodHelperRelease discharges through the dispose helper chain: the
+// interprocedural summary knows disposeVia releases its argument.
+func goodHelperRelease() {
+	s := Capture()
+	disposeVia(s)
+}
+
+// badBorrowingHelper leaks: inspect only borrows the handle, so the
+// call is not a discharge.
+func badBorrowingHelper() {
+	s := Capture() // want `neither released nor transferred`
+	inspect(s)
+}
+
+// badDoubleReleaseHelper releases through the helper chain and then
+// again directly.
+func badDoubleReleaseHelper() {
+	s := Capture()
+	disposeVia(s)
+	s.Release() // want `released again`
+}
+
+// badDoubleReleaseDirect releases twice on one path.
+func badDoubleReleaseDirect(s *State) {
+	s.Release()
+	if cond {
+		s.Release() // want `released again`
+	}
+}
+
+// badUseAfterRelease touches the handle after handing it to dispose.
+func badUseAfterRelease() int {
+	s := Capture()
+	dispose(s)
+	return inspect(s) // want `used after being released`
+}
+
+// goodBranchRelease releases on exactly one path per execution: no
+// double release, no leak.
+func goodBranchRelease() {
+	s := Capture()
+	if cond {
+		s.Release()
+		return
+	}
+	disposeVia(s)
+}
+
+// goodRebind releases, rebinds the variable to a fresh acquisition, and
+// releases again — two values, one release each.
+func goodRebind() {
+	s := Capture()
+	s.Release()
+	s = Capture()
+	s.Release()
+}
+
+// suppressedDoubleRelease documents a deliberate re-release (idempotent
+// teardown) silenced with the general directive.
+func suppressedDoubleRelease(s *State) {
+	s.Release()
+	//lint:ignore releasecheck Release is idempotent on this handle during teardown
+	s.Release()
 }
 
 // cleanNoAcquisition has nothing to check.

@@ -157,9 +157,9 @@ type Engine struct {
 	cfg     Config
 	tree    *snapshot.Tree
 
-	mu       sync.Mutex
-	strategy Strategy // policy identity; scheduling goes through sched
-	sched    sched    // fixed once workers start (swaps only during the root step)
+	mu       sync.Mutex // lock_rank: 10 — engine state; sched.mu nests inside via stats
+	strategy Strategy   // policy identity; scheduling goes through sched
+	sched    sched      // fixed once workers start (swaps only during the root step)
 	stopped  bool
 	halted   atomic.Bool // mirrors stopped for lock-free reads
 

@@ -99,7 +99,7 @@ func (s *stealSched) stats() (int64, int64) { return s.steals.Load(), s.localPop
 // apart from the engine-state mutex so solution recording and stop paths
 // never contend with Pop/PushAll.
 type globalSched struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // lock_rank: 20 — queue-order lock, inside Engine.mu
 	cond    *sync.Cond
 	st      Strategy
 	drop    func(Ext)

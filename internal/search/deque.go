@@ -31,7 +31,7 @@ type Stealable interface {
 // cross-worker contention is an actual steal. The padding keeps hot
 // shards off each other's cache lines.
 type shard[T any] struct {
-	mu sync.Mutex
+	mu sync.Mutex // no_block: work-stealing hot path; holders only touch the slice and rng
 	// guarded_by: mu
 	items  []Item[T]
 	victim int    // round-robin steal cursor; owner-confined, not lock-guarded

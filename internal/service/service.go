@@ -184,7 +184,7 @@ type entry struct {
 
 // shard is one lock stripe of the reference table.
 type shard struct {
-	mu sync.Mutex
+	mu sync.Mutex // lock_rank: 30 — innermost table lock; Store.mu may nest inside on spill
 	// guarded_by: mu
 	entries map[uint64]*entry
 
@@ -297,18 +297,18 @@ type Service struct {
 	// idReserveBatch before an id is handed to a client, amortizing the
 	// fsync to ~1/idReserveBatch per park.
 	idReserved atomic.Uint64
-	idResMu    sync.Mutex
+	idResMu    sync.Mutex // lock_rank: 22 — Store.mu nests inside via ReserveIDs
 	// reloadMu/reloading singleflight concurrent promote-on-access loads
 	// of the same spilled id: the first caller reloads, the rest wait —
 	// one disk walk, one Reloads increment, one table insert.
-	reloadMu  sync.Mutex
+	reloadMu  sync.Mutex // lock_rank: 20 — leaf in practice; map ops only while held
 	reloading map[uint64]*reloadCall
 
 	// closeMu serializes Close against the lookup/park critical sections.
 	// Extend holds it shared only around table touches — never across the
 	// solve — so Close cannot interleave with a park, and every in-flight
 	// solve is drained via the WaitGroup before the store is torn down.
-	closeMu  sync.RWMutex
+	closeMu  sync.RWMutex // lock_rank: 10 — outermost: held (shared) around every table touch
 	closed   bool
 	inflight sync.WaitGroup
 }

@@ -99,7 +99,7 @@ func (st Stats) DedupRatio() float64 {
 type Store struct {
 	dir string
 
-	mu sync.Mutex
+	mu sync.Mutex // lock_rank: 40 — innermost durable-store lock; nothing nests inside
 	// guarded_by: mu
 	closed bool
 	// guarded_by: mu
