@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml) so a green `make check` locally predicts a
 # green pipeline.
 
-.PHONY: build test race lint bench-ci check
+.PHONY: build test race lint escape-baseline bench-ci bench-diff check
 
 build:
 	go build ./...
@@ -15,12 +15,23 @@ race:
 
 # lint runs reprolint, the repo's own go/analysis suite enforcing the
 # snapshot-lifecycle, lock-guard, lock-order/no_block, atomic-access,
-# TLB-flush, and fsync-ordering invariants (see DESIGN.md "Static
-# analysis & invariants"). Any diagnostic is a hard failure; -time
-# prints per-analyzer wall time so a slow checker is visible here
-# before it slows CI.
+# TLB-flush, fsync-ordering and hot-path performance invariants (see
+# DESIGN.md "Static analysis & invariants" and "Performance
+# invariants"). -escape additionally rebuilds the module with
+# -gcflags=-json and diffs the compiler's escape/inlining verdicts on
+# hot_path:/inline: functions against the committed golden baseline.
+# Any diagnostic is a hard failure; -time prints per-analyzer wall time
+# so a slow checker is visible here before it slows CI.
 lint:
-	go run ./cmd/reprolint -time ./...
+	go run ./cmd/reprolint -time -escape -escape-baseline ESCAPE_baseline.json -escape-report ESCAPE_report.json ./...
+
+# escape-baseline re-records the compiler's current escape/inlining
+# verdicts on every hot_path:/inline: function. Run it when lint
+# reports escapegate drift, then review and commit the diff — the diff
+# IS the review surface for a performance-relevant compiler-behavior
+# change.
+escape-baseline:
+	go run ./cmd/reprolint -write-escape-baseline -escape-baseline ESCAPE_baseline.json ./...
 
 # bench-ci emits the machine-readable quick-scale numbers CI archives
 # per commit: TLB locality (E11), work-stealing scaling (E12), the
@@ -29,5 +40,13 @@ lint:
 # the trajectory; diff new artifacts against it.
 bench-ci:
 	go run ./cmd/snapbench -quick -e 11,12,14,15 -json BENCH_ci.json
+
+# bench-diff gates the fresh bench-ci artifact against the committed
+# seed: generous cross-machine thresholds (3x latency, 1/3 throughput)
+# catch lost fast paths, not scheduler jitter. A rule matching zero
+# rows fails loudly so a renamed workload cannot silently skip its
+# gate. BENCH_diff.json is the per-row report CI uploads.
+bench-diff:
+	go run ./cmd/benchdiff -seed BENCH_seed.json -ci BENCH_ci.json -json BENCH_diff.json
 
 check: build lint test race

@@ -1,0 +1,419 @@
+// Command benchdiff compares a fresh BENCH_ci.json against the
+// committed BENCH_seed.json and fails on performance regressions:
+//
+//	go run ./cmd/benchdiff -seed BENCH_seed.json -ci BENCH_ci.json -json BENCH_diff.json
+//
+// Rows are matched across the two files by experiment id plus the
+// values of the rule's key columns, so reordering or adding rows never
+// silently shifts a comparison. Thresholds are deliberately generous —
+// CI hardware differs from the machine that recorded the seed, so only
+// multiple-x regressions (a lost fast path, an accidental O(n) in a
+// hot loop) should trip, never scheduler jitter. A rule that matches
+// zero rows is a hard error, not a silent pass: renaming a workload
+// must break the gate loudly so the rule is updated with the rename.
+//
+// Exit status: 0 within thresholds, 1 regression, 2 malformed input or
+// a rule that no longer matches anything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors cmd/snapbench's -json output.
+type benchFile struct {
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Experiments []experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID      int        `json:"id"`
+	Name    string     `json:"name"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
+// direction is how a rule compares ci against seed.
+type direction int
+
+const (
+	// atMost: ci <= seed * factor (lower is better: latency).
+	atMost direction = iota
+	// atLeast: ci >= seed * factor (higher is better: throughput).
+	atLeast
+	// withinPP: ci >= seed - slack, both percentages.
+	withinPP
+	// exact: ci == seed numerically (deterministic counters: spill and
+	// reload counts, dedup ratios — machine-independent policy outputs).
+	exact
+	// equalParts: the cell is "<a> == <b>" and a must equal b in the ci
+	// file (a correctness identity, not a performance number).
+	equalParts
+)
+
+// rule is one per-experiment threshold.
+type rule struct {
+	exp     int
+	column  string
+	keyCols []string
+	// only filters rows by their key-column values; nil = every row.
+	only func(key map[string]string) bool
+	// part selects a "/"-separated fragment of the cell ("p50 / p99"),
+	// 0-based; -1 means the whole cell.
+	part   int
+	dir    direction
+	factor float64
+	slack  float64 // percentage points, withinPP only
+	why    string
+}
+
+// rules is the gate. Factors are wide (3x time, 1/3 throughput, 10x
+// tail latency) because seed and CI machines differ; the gate exists
+// to catch lost fast paths, not jitter.
+var rules = []rule{
+	{
+		exp: 11, column: "tlb ns/op", keyCols: []string{"workload", "pages"},
+		only: func(k map[string]string) bool {
+			return k["workload"] == "write-loop" && (k["pages"] == "1" || k["pages"] == "64")
+		},
+		part: -1, dir: atMost, factor: 3.0,
+		why: "TLB-resident writes must stay O(1)-fast (§4)",
+	},
+	{
+		exp: 11, column: "hit rate", keyCols: []string{"workload", "pages"},
+		only: func(k map[string]string) bool {
+			return k["workload"] == "write-loop" && (k["pages"] == "1" || k["pages"] == "64")
+		},
+		part: -1, dir: withinPP, slack: 5.0,
+		why: "hit rate on the resident loops is a determinism check, not a speed check",
+	},
+	{
+		exp: 12, column: "knodes/s", keyCols: []string{"workload", "workers", "sched"},
+		part: -1, dir: atLeast, factor: 1.0 / 3,
+		why: "search throughput (Fig.2) must not collapse",
+	},
+	{
+		// Only the restart phase: the fsync-bound phases (chains,
+		// siblings) swing 20x with the host's disk sync latency, so
+		// their wall-clock is not a portable gate — their deterministic
+		// policy counters below are.
+		exp: 14, column: "ext/s", keyCols: []string{"phase"},
+		only: func(k map[string]string) bool { return k["phase"] == "restart" },
+		part: -1, dir: atLeast, factor: 1.0 / 3,
+		why: "cold-reload throughput (§3.2); fsync phases gated by counters instead",
+	},
+	{
+		exp: 14, column: "spills", keyCols: []string{"phase"},
+		part: -1, dir: exact,
+		why: "spill decisions are deterministic store policy, not timing",
+	},
+	{
+		exp: 14, column: "reloads", keyCols: []string{"phase"},
+		part: -1, dir: exact,
+		why: "reload counts are deterministic store policy, not timing",
+	},
+	{
+		exp: 14, column: "dedup", keyCols: []string{"phase"},
+		part: -1, dir: exact,
+		why: "content-dedup ratio is a function of the workload alone",
+	},
+	{
+		exp: 15, column: "value", keyCols: []string{"phase", "config"},
+		only: func(k map[string]string) bool { return k["phase"] == "writer-throughput" },
+		part: -1, dir: atLeast, factor: 1.0 / 3,
+		why: "mutators must not stall under capture storms (§1)",
+	},
+	{
+		exp: 15, column: "value", keyCols: []string{"phase", "config"},
+		only: func(k map[string]string) bool { return k["phase"] == "capture-latency" },
+		part: 0, dir: atMost, factor: 10.0,
+		why: "capture p50 is an O(1) epoch bump; 10x headroom for CI jitter",
+	},
+	{
+		exp: 15, column: "value", keyCols: []string{"phase", "config"},
+		only: func(k map[string]string) bool { return k["phase"] == "verdict-identity" },
+		part: -1, dir: equalParts,
+		why: "backtracking verdicts must be identical to the synchronous baseline",
+	},
+}
+
+// rowResult is one row comparison in the diff report.
+type rowResult struct {
+	Experiment int     `json:"experiment"`
+	Key        string  `json:"key"`
+	Column     string  `json:"column"`
+	Seed       string  `json:"seed"`
+	CI         string  `json:"ci"`
+	Ratio      float64 `json:"ratio,omitempty"`
+	OK         bool    `json:"ok"`
+	Why        string  `json:"why"`
+}
+
+type diffReport struct {
+	SeedGo  string      `json:"seed_go"`
+	CIGo    string      `json:"ci_go"`
+	Rows    []rowResult `json:"rows"`
+	Failed  int         `json:"failed"`
+	Skipped []string    `json:"skipped,omitempty"`
+}
+
+func main() {
+	seedPath := flag.String("seed", "BENCH_seed.json", "committed baseline")
+	ciPath := flag.String("ci", "BENCH_ci.json", "fresh bench output")
+	jsonPath := flag.String("json", "", "write the per-row diff report to this file")
+	flag.Parse()
+
+	seed, err := readBench(*seedPath)
+	if err != nil {
+		fail(err)
+	}
+	ci, err := readBench(*ciPath)
+	if err != nil {
+		fail(err)
+	}
+
+	rep, err := evaluate(seed, ci, rules)
+	if err != nil {
+		fail(err)
+	}
+
+	for _, r := range rep.Rows {
+		status := "ok  "
+		if !r.OK {
+			status = "FAIL"
+		}
+		fmt.Printf("%s e%-2d %-34s %-12s seed=%-18s ci=%-18s\n",
+			status, r.Experiment, r.Key, r.Column, r.Seed, r.CI)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fail(fmt.Errorf("benchdiff: writing %s: %w", *jsonPath, err))
+		}
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond threshold\n", rep.Failed)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) within thresholds\n", len(rep.Rows))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func readBench(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	var b benchFile
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// evaluate applies every rule, matching rows across the two files by
+// experiment id + key-column values.
+func evaluate(seed, ci *benchFile, rules []rule) (*diffReport, error) {
+	rep := &diffReport{SeedGo: seed.GoVersion, CIGo: ci.GoVersion}
+	for _, r := range rules {
+		se := findExp(seed, r.exp)
+		ce := findExp(ci, r.exp)
+		if se == nil {
+			return nil, fmt.Errorf("benchdiff: experiment %d missing from seed", r.exp)
+		}
+		if ce == nil {
+			return nil, fmt.Errorf("benchdiff: experiment %d missing from ci run", r.exp)
+		}
+		seedRows, err := indexRows(se, r)
+		if err != nil {
+			return nil, err
+		}
+		ciRows, err := indexRows(ce, r)
+		if err != nil {
+			return nil, err
+		}
+		matched := 0
+		for key, sv := range seedRows {
+			cv, ok := ciRows[key]
+			if !ok {
+				return nil, fmt.Errorf("benchdiff: e%d row %q in seed but not in ci run (workload renamed? update the rule)", r.exp, key)
+			}
+			matched++
+			res, err := compareCell(r, key, sv, cv)
+			if err != nil {
+				return nil, err
+			}
+			if !res.OK {
+				rep.Failed++
+			}
+			rep.Rows = append(rep.Rows, res)
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("benchdiff: rule on e%d %q matched zero rows — a silent gate is no gate; update the rule", r.exp, r.column)
+		}
+	}
+	return rep, nil
+}
+
+func findExp(b *benchFile, id int) *experiment {
+	for i := range b.Experiments {
+		if b.Experiments[i].ID == id {
+			return &b.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// indexRows maps each matching row's key to the rule's column value.
+func indexRows(e *experiment, r rule) (map[string]string, error) {
+	col := -1
+	keyIdx := make([]int, 0, len(r.keyCols))
+	for _, kc := range r.keyCols {
+		i := columnIndex(e.Columns, kc)
+		if i < 0 {
+			return nil, fmt.Errorf("benchdiff: e%d has no column %q (columns: %v)", e.ID, kc, e.Columns)
+		}
+		keyIdx = append(keyIdx, i)
+	}
+	if col = columnIndex(e.Columns, r.column); col < 0 {
+		return nil, fmt.Errorf("benchdiff: e%d has no column %q (columns: %v)", e.ID, r.column, e.Columns)
+	}
+	out := map[string]string{}
+	for _, row := range e.Rows {
+		if len(row) != len(e.Columns) {
+			return nil, fmt.Errorf("benchdiff: e%d row %v has %d cells for %d columns", e.ID, row, len(row), len(e.Columns))
+		}
+		key := map[string]string{}
+		parts := make([]string, 0, len(keyIdx))
+		for j, i := range keyIdx {
+			key[r.keyCols[j]] = row[i]
+			parts = append(parts, row[i])
+		}
+		if r.only != nil && !r.only(key) {
+			continue
+		}
+		out[strings.Join(parts, "/")] = row[col]
+	}
+	return out, nil
+}
+
+func columnIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// compareCell applies one rule to one matched row pair.
+func compareCell(r rule, key, seedCell, ciCell string) (rowResult, error) {
+	res := rowResult{Experiment: r.exp, Key: key, Column: r.column,
+		Seed: seedCell, CI: ciCell, Why: r.why}
+
+	if r.dir == equalParts {
+		res.OK = identityHolds(ciCell)
+		return res, nil
+	}
+
+	sv, ok := parseValue(cellPart(seedCell, r.part))
+	if !ok {
+		return res, fmt.Errorf("benchdiff: e%d %s: unparseable seed cell %q", r.exp, key, seedCell)
+	}
+	cv, ok := parseValue(cellPart(ciCell, r.part))
+	if !ok {
+		return res, fmt.Errorf("benchdiff: e%d %s: unparseable ci cell %q", r.exp, key, ciCell)
+	}
+	if sv != 0 {
+		res.Ratio = cv / sv
+	}
+	switch r.dir {
+	case atMost:
+		res.OK = cv <= sv*r.factor
+	case atLeast:
+		res.OK = cv >= sv*r.factor
+	case withinPP:
+		res.OK = cv >= sv-r.slack
+	case exact:
+		res.OK = cv == sv
+	}
+	return res, nil
+}
+
+// identityHolds checks an "<a> == <b>" correctness cell.
+func identityHolds(cell string) bool {
+	a, b, ok := strings.Cut(cell, "==")
+	return ok && strings.TrimSpace(a) != "" && strings.TrimSpace(a) == strings.TrimSpace(b)
+}
+
+// cellPart selects a "/"-separated fragment ("334ns / 3.901µs"), or
+// the whole cell for part < 0.
+func cellPart(cell string, part int) string {
+	if part < 0 {
+		return cell
+	}
+	frags := strings.Split(cell, "/")
+	if part >= len(frags) {
+		return ""
+	}
+	return strings.TrimSpace(frags[part])
+}
+
+// parseValue turns a bench table cell into a comparable float:
+// durations normalize to seconds ("3.44ms", "334ns", "3.901µs"),
+// magnitudes expand ("77.98M", "1.2k"), and "%"/"x" decorations strip.
+// "-" (no measurement) is not a value.
+func parseValue(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "-" {
+		return 0, false
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		mult, s = 1e-9, strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "µs"):
+		mult, s = 1e-6, strings.TrimSuffix(s, "µs")
+	case strings.HasSuffix(s, "us"):
+		mult, s = 1e-6, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		mult, s = 1e-3, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s") && len(s) > 1 && (s[len(s)-2] >= '0' && s[len(s)-2] <= '9' || s[len(s)-2] == '.'):
+		mult, s = 1, strings.TrimSuffix(s, "s")
+	case strings.HasSuffix(s, "%"):
+		s = strings.TrimSuffix(s, "%")
+	case strings.HasSuffix(s, "x"):
+		s = strings.TrimSuffix(s, "x")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}

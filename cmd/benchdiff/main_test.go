@@ -1,0 +1,186 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"6.6", 6.6, true},
+		{"100.0%", 100.0, true},
+		{"5.51x", 5.51, true},
+		{"3.44ms", 3.44e-3, true},
+		{"334ns", 334e-9, true},
+		{"3.901µs", 3.901e-6, true},
+		{"12us", 12e-6, true},
+		{"1.5s", 1.5, true},
+		{"77.98M", 77.98e6, true},
+		{"1.2k", 1200, true},
+		{"2G", 2e9, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"fast", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseValue(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseValue(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIdentityHolds(t *testing.T) {
+	for cell, want := range map[string]bool{
+		"4 == 4":   true,
+		"4 == 5":   false,
+		"4":        false,
+		" == ":     false,
+		"ab == ab": true,
+	} {
+		if got := identityHolds(cell); got != want {
+			t.Errorf("identityHolds(%q) = %v, want %v", cell, got, want)
+		}
+	}
+}
+
+func TestCellPart(t *testing.T) {
+	if got := cellPart("334ns / 3.901µs", 0); got != "334ns" {
+		t.Errorf("part 0 = %q", got)
+	}
+	if got := cellPart("334ns / 3.901µs", 1); got != "3.901µs" {
+		t.Errorf("part 1 = %q", got)
+	}
+	if got := cellPart("whole", -1); got != "whole" {
+		t.Errorf("part -1 = %q", got)
+	}
+	if got := cellPart("a / b", 5); got != "" {
+		t.Errorf("out of range = %q", got)
+	}
+}
+
+// bench builds a one-experiment file for evaluate tests.
+func bench(rows ...[]string) *benchFile {
+	return &benchFile{
+		GoVersion: "go1.24.0",
+		Experiments: []experiment{{
+			ID:      99,
+			Name:    "synthetic",
+			Columns: []string{"workload", "ns/op"},
+			Rows:    rows,
+		}},
+	}
+}
+
+var latencyRule = []rule{{
+	exp: 99, column: "ns/op", keyCols: []string{"workload"},
+	part: -1, dir: atMost, factor: 3.0, why: "test",
+}}
+
+func TestEvaluatePass(t *testing.T) {
+	seed := bench([]string{"loop", "10"})
+	ci := bench([]string{"loop", "29"}) // under 3x
+	rep, err := evaluate(seed, ci, latencyRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || len(rep.Rows) != 1 || !rep.Rows[0].OK {
+		t.Fatalf("want clean pass, got %+v", rep)
+	}
+}
+
+func TestEvaluateRegression(t *testing.T) {
+	seed := bench([]string{"loop", "10"})
+	ci := bench([]string{"loop", "31"}) // over 3x
+	rep, err := evaluate(seed, ci, latencyRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Rows[0].OK {
+		t.Fatalf("want one regression, got %+v", rep)
+	}
+}
+
+func TestEvaluateThroughputDirection(t *testing.T) {
+	rules := []rule{{
+		exp: 99, column: "ns/op", keyCols: []string{"workload"},
+		part: -1, dir: atLeast, factor: 1.0 / 3, why: "test",
+	}}
+	seed := bench([]string{"loop", "300"})
+	ci := bench([]string{"loop", "99"}) // below seed/3
+	rep, err := evaluate(seed, ci, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("want throughput regression, got %+v", rep)
+	}
+}
+
+func TestEvaluateExact(t *testing.T) {
+	rules := []rule{{
+		exp: 99, column: "ns/op", keyCols: []string{"workload"},
+		part: -1, dir: exact, why: "test",
+	}}
+	seed := bench([]string{"loop", "13"})
+	if rep, err := evaluate(seed, bench([]string{"loop", "13"}), rules); err != nil || rep.Failed != 0 {
+		t.Fatalf("equal counters must pass: %v %+v", err, rep)
+	}
+	if rep, err := evaluate(seed, bench([]string{"loop", "14"}), rules); err != nil || rep.Failed != 1 {
+		t.Fatalf("drifted counter must fail: %v %+v", err, rep)
+	}
+}
+
+// A rule whose filter matches nothing must be a hard error, not a
+// silently green gate.
+func TestEvaluateZeroRowsIsError(t *testing.T) {
+	rules := []rule{{
+		exp: 99, column: "ns/op", keyCols: []string{"workload"},
+		only: func(k map[string]string) bool { return k["workload"] == "renamed-away" },
+		part: -1, dir: atMost, factor: 3.0, why: "test",
+	}}
+	_, err := evaluate(bench([]string{"loop", "10"}), bench([]string{"loop", "10"}), rules)
+	if err == nil || !strings.Contains(err.Error(), "zero rows") {
+		t.Fatalf("want zero-rows error, got %v", err)
+	}
+}
+
+// A seed row missing from the CI run (renamed workload) must error.
+func TestEvaluateMissingCIRow(t *testing.T) {
+	_, err := evaluate(bench([]string{"loop", "10"}), bench([]string{"loop2", "10"}), latencyRule)
+	if err == nil || !strings.Contains(err.Error(), "not in ci run") {
+		t.Fatalf("want missing-row error, got %v", err)
+	}
+}
+
+func TestEvaluateMissingExperiment(t *testing.T) {
+	ci := &benchFile{Experiments: []experiment{{ID: 98}}}
+	_, err := evaluate(bench([]string{"loop", "10"}), ci, latencyRule)
+	if err == nil || !strings.Contains(err.Error(), "missing from ci") {
+		t.Fatalf("want missing-experiment error, got %v", err)
+	}
+}
+
+// The committed rules must hold against the committed seed compared to
+// itself: identity is the weakest sanity bar for every threshold, and
+// it exercises the real column names against the real file.
+func TestRulesAgainstSeed(t *testing.T) {
+	seed, err := readBench("../../BENCH_seed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := evaluate(seed, seed, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("seed vs itself must pass every rule, got %+v", rep.Rows)
+	}
+	if len(rep.Rows) < 20 {
+		t.Fatalf("expected the full rule fan-out over the seed (got %d rows)", len(rep.Rows))
+	}
+}

@@ -15,6 +15,16 @@
 //	-time        print per-analyzer cumulative wall time to stderr
 //	-jobs N      bound the per-package worker pool (default GOMAXPROCS)
 //
+//	-escape                  also run escapegate: rebuild the module with
+//	                         -gcflags=-json and cross-check hot_path:/inline:
+//	                         annotations against the compiler's escape and
+//	                         inlining verdicts
+//	-escape-baseline FILE    golden allowlist to diff against (empty =
+//	                         pure violation mode)
+//	-escape-report FILE      write the full escapegate report JSON
+//	-write-escape-baseline   regenerate the golden file instead of
+//	                         checking against it
+//
 // Build with -tags reprolint_xtools (requires a populated module cache
 // for golang.org/x/tools) to also run the standard nilness, lostcancel,
 // copylocks and unusedwrite analyzers.
@@ -22,11 +32,14 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/escapegate"
 	"repro/internal/analysis/flushcheck"
 	"repro/internal/analysis/fsyncorder"
+	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/releasecheck"
@@ -44,15 +57,22 @@ func suite() []*reprolint.Analyzer {
 		fsyncorder.Analyzer,
 		lockorder.Analyzer,
 		atomicfield.Analyzer,
+		hotpath.Analyzer,
 	}
 }
 
 func main() {
 	var opts reprolint.Options
+	var escape, writeBaseline bool
+	var escapeBaseline, escapeReport string
 	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
 	fs.StringVar(&opts.JSONPath, "json", "", "write a JSON report to this file")
 	fs.BoolVar(&opts.Time, "time", false, "print per-analyzer wall time to stderr")
 	fs.IntVar(&opts.Jobs, "jobs", 0, "per-package worker pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&escape, "escape", false, "cross-check hot_path:/inline: annotations against the compiler (escapegate)")
+	fs.StringVar(&escapeBaseline, "escape-baseline", "", "escapegate golden allowlist JSON (empty = violation mode)")
+	fs.StringVar(&escapeReport, "escape-report", "", "write the full escapegate report JSON to this file")
+	fs.BoolVar(&writeBaseline, "write-escape-baseline", false, "regenerate the escapegate baseline and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -63,9 +83,61 @@ func main() {
 		os.Stderr.WriteString("reprolint: " + err.Error() + "\n")
 		os.Exit(2)
 	}
+
+	if writeBaseline {
+		os.Exit(regenBaseline(dir, fs.Args(), escapeBaseline))
+	}
+
 	code := reprolint.MainOpts(os.Stdout, os.Stderr, dir, analyzers, fs.Args(), opts)
 	if code == 0 {
 		code = runExtra(dir, fs.Args())
 	}
+	if escape && code != 2 {
+		if ecode := runEscapegate(dir, fs.Args(), escapeBaseline, escapeReport); ecode > code {
+			code = ecode
+		}
+	}
 	os.Exit(code)
+}
+
+// runEscapegate drives the compiler-grounded checker and prints its
+// findings in the same file:line format as the AST analyzers.
+func runEscapegate(dir string, patterns []string, baseline, report string) int {
+	res, err := escapegate.Run(escapegate.Options{
+		Dir:      dir,
+		Patterns: patterns,
+		Baseline: baseline,
+		Report:   report,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range res.Findings {
+		fmt.Fprintln(os.Stdout, d)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "escapegate: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}
+
+// regenBaseline records the compiler's current verdicts as the new
+// golden file (default ESCAPE_baseline.json).
+func regenBaseline(dir string, patterns []string, path string) int {
+	if path == "" {
+		path = "ESCAPE_baseline.json"
+	}
+	res, err := escapegate.Run(escapegate.Options{Dir: dir, Patterns: patterns})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := escapegate.WriteBaseline(path, res); err != nil {
+		fmt.Fprintln(os.Stderr, "escapegate: "+err.Error())
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "escapegate: wrote %s (%d annotated functions)\n", path, len(res.Functions))
+	return 0
 }

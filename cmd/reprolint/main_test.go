@@ -115,6 +115,41 @@ func (g *gauge) peek() int64 { return g.v }
 `, "atomicfield")
 }
 
+// TestSeededHotPathBlocking: a hot_path function acquiring a mutex it
+// did not declare with locks= is a blocking hot path.
+func TestSeededHotPathBlocking(t *testing.T) {
+	assertFinds(t, `package tmpmod
+
+import "sync"
+
+type tab struct {
+	mu sync.Mutex
+	n  int
+}
+
+// hot_path: lookup fast path.
+func (t *tab) get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+`, "hotpath")
+}
+
+// TestSeededHotPathAllocation: a heap-allocation site in a hot_path
+// function is a finding even when nothing blocks.
+func TestSeededHotPathAllocation(t *testing.T) {
+	assertFinds(t, `package tmpmod
+
+type node struct{ next *node }
+
+// hot_path: the push fast path.
+func push(head *node) *node {
+	return &node{next: head}
+}
+`, "hotpath")
+}
+
 // TestJSONReport: -json writes a machine-readable report with the
 // finding's analyzer, position, and message.
 func TestJSONReport(t *testing.T) {
@@ -271,6 +306,13 @@ func TestNegativeControls(t *testing.T) {
 			old:      "\tas.AdvanceEpoch()\n\tif as.pt.root != nil {",
 			new:      "\tif as.pt.root != nil {",
 			analyzer: "flushcheck",
+		},
+		{
+			name:     "allocation seeded into the TLB read hot path",
+			rel:      filepath.Join("internal", "mem", "addrspace.go"),
+			old:      "\t\tif f, ok := as.tlb.readFrame(vpn); ok {",
+			new:      "\t\t_ = fmt.Sprintf(\"hot %d\", vpn)\n\t\tif f, ok := as.tlb.readFrame(vpn); ok {",
+			analyzer: "hotpath",
 		},
 		{
 			name: "deleted manifest log sync",

@@ -16,9 +16,11 @@
 //     atomic.Pointer[T], ...) must never be copied by value: a copy
 //     snapshots the bits but forks the location, so updates through the
 //     copy are invisible to readers of the original. Assignments,
-//     arguments, returns, composite-literal elements and channel sends
-//     of atomic values are reported. (Ranging over a container of
-//     atomics is a known hole; `go vet`'s copylocks covers part of it.)
+//     arguments, returns, composite-literal elements, channel sends and
+//     range clauses are reported — `for _, c := range counters` copies
+//     every element, atomics and all, even when the element merely
+//     *contains* an atomic several structs deep. Ranging by index (or
+//     keeping pointers in the container) is the fix.
 //
 // Suppress with `//lint:ignore atomicfield <reason>` — e.g. for a plain
 // read inside a constructor before the value is published.
@@ -204,9 +206,81 @@ func checkCopies(pass *reprolint.ProgramPass, info *types.Info, f *ast.File) {
 			}
 		case *ast.SendStmt:
 			copyCheck(x.Value)
+		case *ast.RangeStmt:
+			checkRangeCopy(pass, info, x)
 		}
 		return true
 	})
+}
+
+// checkRangeCopy reports range clauses whose per-iteration variable
+// copies a typed atomic out of the container: the element (or map
+// key/value) is assigned by value each iteration, forking every atomic
+// it contains, however deeply nested. `for i := range xs` is clean —
+// the index copies nothing.
+func checkRangeCopy(pass *reprolint.ProgramPass, info *types.Info, rng *ast.RangeStmt) {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok { // *[N]T ranges like the array
+		t = p.Elem().Underlying()
+	}
+	check := func(v ast.Expr, elem types.Type, what string) {
+		if v == nil {
+			return
+		}
+		if id, ok := ast.Unparen(v).(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		if at := findTypedAtomic(elem, nil); at != nil {
+			pass.Reportf(v.Pos(), "range clause copies %s %s containing %s: the copy forks the atomic location, so updates through one are invisible through the other; range by index or store pointers",
+				what, elem.String(), at.String())
+		}
+	}
+	switch t := t.(type) {
+	case *types.Slice:
+		check(rng.Value, t.Elem(), "element")
+	case *types.Array:
+		check(rng.Value, t.Elem(), "element")
+	case *types.Map:
+		check(rng.Key, t.Key(), "key")
+		check(rng.Value, t.Elem(), "value")
+	case *types.Chan:
+		check(rng.Key, t.Elem(), "element")
+	}
+}
+
+// findTypedAtomic returns a typed sync/atomic type reachable by value
+// inside t — t itself, a struct field, an array element, recursively —
+// or nil. Pointers, slices and maps share their referent rather than
+// copying it, so the search does not descend through them.
+func findTypedAtomic(t types.Type, seen map[types.Type]bool) types.Type {
+	if t == nil {
+		return nil
+	}
+	if isTypedAtomic(t) {
+		return t
+	}
+	if seen[t] {
+		return nil
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if at := findTypedAtomic(u.Field(i).Type(), seen); at != nil {
+				return at
+			}
+		}
+	case *types.Array:
+		return findTypedAtomic(u.Elem(), seen)
+	}
+	return nil
 }
 
 // isTypedAtomic reports whether t is a named value type from

@@ -89,6 +89,11 @@ type Graph struct {
 	Nodes []*Node
 	// ByFunc resolves a declared function object to its node.
 	ByFunc map[*types.Func]*Node
+	// ByName resolves a declared function by FullName. The loader
+	// typechecks each package against export data, so a caller's view of
+	// a cross-package callee is a distinct *types.Func from the
+	// source-checked one and misses ByFunc; the FullName bridges them.
+	ByName map[string]*Node
 	// ByLit resolves a literal to its node.
 	ByLit map[*ast.FuncLit]*Node
 
@@ -100,6 +105,7 @@ func Build(prog *reprolint.Program) *Graph {
 	g := &Graph{
 		Prog:   prog,
 		ByFunc: map[*types.Func]*Node{},
+		ByName: map[string]*Node{},
 		ByLit:  map[*ast.FuncLit]*Node{},
 	}
 	// Pass 1: nodes for every function body in the program.
@@ -114,6 +120,7 @@ func Build(prog *reprolint.Program) *Graph {
 				if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
 					n.Func = obj
 					g.ByFunc[obj] = n
+					g.ByName[obj.FullName()] = n
 				}
 				g.Nodes = append(g.Nodes, n)
 				g.addLits(pkg, fd.Body, fd)

@@ -1,0 +1,485 @@
+// Package escapegate cross-checks the performance annotations against
+// the real compiler. hotpath proves the absence of *syntactic*
+// allocation and blocking in `// hot_path:` functions; escapegate asks
+// gc itself — via -gcflags=-json structured diagnostics (logopt) —
+// whether anything in those functions still escapes to the heap, and
+// whether every `// inline:` function is in fact inlinable.
+//
+// The contract is a committed golden baseline (ESCAPE_baseline.json,
+// regenerated with `make escape-baseline`): the compiler's current
+// verdicts are diffed against it, so any drift — a new escape in a hot
+// function, an inlining decision withdrawn, an annotated function
+// added or removed without refreshing the baseline — is a finding and
+// a reviewable diff, never a silent regression. With no baseline,
+// escapegate runs in pure violation mode: any escape in a hot_path
+// function and any declined inline: is a finding (this is the
+// bootstrap and test mode).
+//
+// Findings respect //lint:ignore escapegate suppressions on the
+// escaping line (or the line above), via the same annotation machinery
+// as the AST analyzers.
+package escapegate
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/reprolint"
+)
+
+// Name is the analyzer name findings carry (and //lint:ignore targets).
+const Name = "escapegate"
+
+// Options configures one escapegate run.
+type Options struct {
+	// Dir is the module directory the patterns resolve in.
+	Dir string
+	// Patterns selects the packages whose annotations are checked
+	// (default ./...). The compiler always builds the whole module.
+	Patterns []string
+	// Baseline is the committed allowlist JSON; empty means pure
+	// violation mode (every escape/declined-inline is a finding).
+	Baseline string
+	// Report, when non-empty, writes the full per-function report JSON
+	// (CI archives it as an artifact).
+	Report string
+}
+
+// FuncReport is the compiler's verdict on one annotated function.
+type FuncReport struct {
+	// Annotation is "hot_path", "inline" or "hot_path,inline".
+	Annotation string `json:"annotation"`
+	// File is the module-relative source file (informational; functions
+	// are keyed by their type-checker FullName).
+	File string `json:"file"`
+	// CanInline records whether gc reported canInlineFunction.
+	CanInline bool `json:"can_inline"`
+	// InlineNote is gc's cannotInlineFunction reason, if any.
+	InlineNote string `json:"inline_note,omitempty"`
+	// Escapes are the distinct escape-analysis messages inside the
+	// function body, sorted (line numbers deliberately omitted so the
+	// baseline does not churn when code above moves).
+	Escapes []string `json:"escapes,omitempty"`
+}
+
+// Baseline is the committed golden file.
+type Baseline struct {
+	Go        string                 `json:"go"`
+	Functions map[string]*FuncReport `json:"functions"`
+}
+
+// Result is what a run produced.
+type Result struct {
+	GoVersion  string
+	Findings   []reprolint.Diagnostic
+	Suppressed int
+	Functions  map[string]*FuncReport
+}
+
+// report is the -escape-report payload.
+type report struct {
+	Go         string                 `json:"go"`
+	Baseline   string                 `json:"baseline,omitempty"`
+	Findings   []string               `json:"findings"`
+	Suppressed int                    `json:"suppressed"`
+	Functions  map[string]*FuncReport `json:"functions"`
+}
+
+// annFn is one annotated function with its source extent.
+type annFn struct {
+	name     string // types.Func FullName
+	file     string // absolute, cleaned
+	declLine int    // line of the func keyword
+	endLine  int
+	hot      bool
+	inline   bool
+	pos      token.Position
+}
+
+// compilerDiag is one logopt diagnostic mapped into a source file.
+type compilerDiag struct {
+	line int
+	code string
+	msg  string
+}
+
+// Run loads the annotated functions, rebuilds the module with logopt
+// enabled, and diffs the compiler's verdicts against the baseline.
+func Run(opts Options) (*Result, error) {
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := reprolint.Load(opts.Dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("escapegate: no packages match %v", patterns)
+	}
+	fset := pkgs[0].Fset
+
+	var fns []*annFn
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a := reprolint.FuncAnnotation(fd)
+				if !a.HotPath && !a.Inline {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(fd.Pos())
+				fns = append(fns, &annFn{
+					name:     obj.FullName(),
+					file:     filepath.Clean(pos.Filename),
+					declLine: pos.Line,
+					endLine:  fset.Position(fd.End()).Line,
+					hot:      a.HotPath,
+					inline:   a.Inline,
+					pos:      pos,
+				})
+			}
+		}
+	}
+
+	diags, err := compile(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{GoVersion: runtime.Version(), Functions: map[string]*FuncReport{}}
+	events := map[string][]compilerDiag{} // fn name -> escape events (with lines)
+	for _, fn := range fns {
+		fr := &FuncReport{Annotation: annString(fn), File: relTo(opts.Dir, fn.file)}
+		seen := map[string]bool{}
+		for _, d := range diags[fn.file] {
+			if d.line < fn.declLine || d.line > fn.endLine {
+				continue
+			}
+			switch {
+			case isEscapeCode(d.code):
+				if d.msg == "" || seen[d.msg] {
+					continue // logopt emits empty/duplicate escape entries
+				}
+				seen[d.msg] = true
+				fr.Escapes = append(fr.Escapes, d.msg)
+				events[fn.name] = append(events[fn.name], d)
+			case d.code == "canInlineFunction" && d.line == fn.declLine:
+				fr.CanInline = true
+			case d.code == "cannotInlineFunction" && d.line == fn.declLine:
+				fr.InlineNote = d.msg
+			}
+		}
+		sort.Strings(fr.Escapes)
+		res.Functions[fn.name] = fr
+	}
+
+	if opts.Baseline != "" {
+		base, err := readBaseline(opts.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		res.Findings = diffBaseline(base, opts.Baseline, fns, res.Functions, events)
+	} else {
+		res.Findings = violations(fns, res.Functions, events)
+	}
+
+	ann := reprolint.CollectAnnotations(fset, allFiles)
+	res.Findings, res.Suppressed = ann.Filter(res.Findings)
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i].Pos, res.Findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+
+	if opts.Report != "" {
+		if err := writeReport(opts.Report, opts.Baseline, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// violations is pure violation mode: no baseline, every bad verdict is
+// a finding.
+func violations(fns []*annFn, cur map[string]*FuncReport, events map[string][]compilerDiag) []reprolint.Diagnostic {
+	var out []reprolint.Diagnostic
+	for _, fn := range fns {
+		fr := cur[fn.name]
+		if fn.hot {
+			for _, e := range events[fn.name] {
+				out = append(out, diagAt(fn.file, e.line,
+					"compiler reports an escape in hot path %s: %s", fn.name, e.msg))
+			}
+		}
+		if fn.inline && !fr.CanInline {
+			out = append(out, reprolint.Diagnostic{
+				Pos: fn.pos, Analyzer: Name,
+				Message: declinedMsg(fn.name, fr),
+			})
+		}
+	}
+	return out
+}
+
+// diffBaseline compares the compiler's current verdicts against the
+// committed golden file. New escapes and withdrawn inlines are
+// regressions; any other mismatch is drift that must be re-baselined,
+// so it shows up as a diff in review rather than rotting silently.
+func diffBaseline(base *Baseline, basePath string, fns []*annFn, cur map[string]*FuncReport, events map[string][]compilerDiag) []reprolint.Diagnostic {
+	var out []reprolint.Diagnostic
+	refresh := "; run `make escape-baseline` and commit the diff"
+	for _, fn := range fns {
+		fr := cur[fn.name]
+		b, ok := base.Functions[fn.name]
+		if !ok {
+			out = append(out, reprolint.Diagnostic{Pos: fn.pos, Analyzer: Name,
+				Message: fmt.Sprintf("%s (%s) is not in the baseline%s", fn.name, fr.Annotation, refresh)})
+			continue
+		}
+		if b.Annotation != fr.Annotation {
+			out = append(out, reprolint.Diagnostic{Pos: fn.pos, Analyzer: Name,
+				Message: fmt.Sprintf("%s annotation changed from %q to %q%s", fn.name, b.Annotation, fr.Annotation, refresh)})
+		}
+		if fn.hot {
+			allowed := map[string]bool{}
+			for _, m := range b.Escapes {
+				allowed[m] = true
+			}
+			now := map[string]bool{}
+			for _, e := range events[fn.name] {
+				now[e.msg] = true
+				if !allowed[e.msg] {
+					out = append(out, diagAt(fn.file, e.line,
+						"new escape in hot path %s not in the baseline: %s", fn.name, e.msg))
+				}
+			}
+			for _, m := range b.Escapes {
+				if !now[m] {
+					out = append(out, reprolint.Diagnostic{Pos: fn.pos, Analyzer: Name,
+						Message: fmt.Sprintf("baseline lists an escape no longer reported in %s (%q) — stale baseline%s", fn.name, m, refresh)})
+				}
+			}
+		}
+		if fn.inline {
+			switch {
+			case b.CanInline && !fr.CanInline:
+				out = append(out, reprolint.Diagnostic{Pos: fn.pos, Analyzer: Name,
+					Message: declinedMsg(fn.name, fr) + " (baseline says it was inlinable)"})
+			case !b.CanInline && fr.CanInline:
+				out = append(out, reprolint.Diagnostic{Pos: fn.pos, Analyzer: Name,
+					Message: fmt.Sprintf("%s is now inlinable — stale baseline%s", fn.name, refresh)})
+			}
+		}
+	}
+	for name := range base.Functions {
+		if _, ok := cur[name]; !ok {
+			out = append(out, reprolint.Diagnostic{
+				Pos: token.Position{Filename: basePath}, Analyzer: Name,
+				Message: fmt.Sprintf("baseline entry %s no longer exists or lost its annotation%s", name, refresh)})
+		}
+	}
+	return out
+}
+
+func declinedMsg(name string, fr *FuncReport) string {
+	msg := fmt.Sprintf("compiler declined to inline %s", name)
+	if fr.InlineNote != "" {
+		msg += ": " + fr.InlineNote
+	}
+	return msg
+}
+
+func diagAt(file string, line int, format string, args ...any) reprolint.Diagnostic {
+	return reprolint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// isEscapeCode reports whether a logopt code is an escape-analysis
+// heap verdict. "leak" (a parameter leaking to its caller) is not an
+// allocation in this function and is deliberately excluded.
+func isEscapeCode(code string) bool {
+	return code == "escape" || code == "escapes"
+}
+
+func annString(fn *annFn) string {
+	switch {
+	case fn.hot && fn.inline:
+		return "hot_path,inline"
+	case fn.hot:
+		return "hot_path"
+	default:
+		return "inline"
+	}
+}
+
+// compile rebuilds the whole module with logopt enabled into a fresh
+// temp dir (a fresh dir changes the cache key, defeating the build
+// cache's diagnostic suppression) and parses every emitted JSON file.
+func compile(dir string) (map[string][]compilerDiag, error) {
+	mod, err := goListModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "escapegate-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	cmd := exec.Command("go", "build", "-gcflags="+mod+"/...=-json=0,"+tmp, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escapegate: go build -gcflags=-json: %v\n%s", err, stderr.String())
+	}
+
+	diags := map[string][]compilerDiag{}
+	err = filepath.WalkDir(tmp, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		return parseLogopt(path, diags)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("escapegate: reading logopt output: %w", err)
+	}
+	return diags, nil
+}
+
+// parseLogopt reads one per-source-file logopt stream: a header line
+// naming the source file, then one LSP-style diagnostic per line.
+func parseLogopt(path string, out map[string][]compilerDiag) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var srcFile string
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if srcFile == "" {
+			var hdr struct {
+				File string `json:"file"`
+			}
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.File == "" {
+				return fmt.Errorf("escapegate: %s: malformed logopt header", path)
+			}
+			srcFile = filepath.Clean(hdr.File)
+			continue
+		}
+		var d struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Range   struct {
+				Start struct {
+					Line int `json:"line"`
+				} `json:"start"`
+			} `json:"range"`
+		}
+		if err := json.Unmarshal(line, &d); err != nil {
+			continue // tolerate future logopt record shapes
+		}
+		out[srcFile] = append(out[srcFile], compilerDiag{
+			line: d.Range.Start.Line,
+			code: d.Code,
+			msg:  d.Message,
+		})
+	}
+	return sc.Err()
+}
+
+func goListModule(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("escapegate: go list -m: %v\n%s", err, stderr.String())
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("escapegate: %w (run `make escape-baseline` to create it)", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("escapegate: parse %s: %w", path, err)
+	}
+	if b.Functions == nil {
+		b.Functions = map[string]*FuncReport{}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the run's per-function verdicts as the new
+// golden file.
+func WriteBaseline(path string, res *Result) error {
+	buf, err := json.MarshalIndent(Baseline{Go: res.GoVersion, Functions: res.Functions}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func writeReport(path, baseline string, res *Result) error {
+	rep := report{
+		Go:         res.GoVersion,
+		Baseline:   baseline,
+		Findings:   []string{},
+		Suppressed: res.Suppressed,
+		Functions:  res.Functions,
+	}
+	for _, d := range res.Findings {
+		rep.Findings = append(rep.Findings, d.String())
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func relTo(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

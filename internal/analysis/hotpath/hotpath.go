@@ -1,0 +1,549 @@
+// Package hotpath enforces the repo's performance invariants on the
+// functions that carry them: the paper's pitch only holds if capture
+// and page access stay at hardware speed, so the TLB hit paths, the
+// epoch bump, the sharded deque and the service shard lookup must not
+// regress into allocation or blocking without the diff saying so.
+//
+// A function annotated `// hot_path:` may contain
+//
+//   - no heap-allocation site: new/make, append (growth is a heap
+//     operation; provably amortized growth carries a //lint:ignore),
+//     &composite and slice/map literals, escaping closure literals,
+//     method-value bindings, interface boxing at assignments,
+//     arguments, returns and conversions, string concatenation or
+//     string<->[]byte/[]rune conversion, and variadic calls (the
+//     argument slice allocates — this is what keeps fmt out);
+//   - no defer, except a deferred Unlock/RUnlock of a lock class the
+//     annotation allows via locks=;
+//   - no blocking op: channel send/receive outside a select with a
+//     default, select without default, ranging over a channel, go
+//     statements, WaitGroup/Cond waits, time.Sleep, and mutex
+//     acquisition unless the class is named in locks=.
+//
+// The discipline is transitive: every resolved callee must itself be
+// hot_path:, cheap:, or on the small stdlib allowlist (sync/atomic,
+// math/bits, encoding/binary, WaitGroup.Add/Done, runtime.KeepAlive).
+// A `// cheap:` function is trusted to be amortized-cheap — it may
+// allocate (the CoW fault path allocates the private copy by design)
+// and its callees are not chased, but direct blocking ops in it are
+// still findings. Arguments to panic are exempt from the boxing rules:
+// a panicking execution has already left the hot path.
+//
+// Known soundness holes, deliberate and documented (DESIGN.md
+// "Performance invariants"): cheap bodies are trusted, not measured
+// (escapegate and the AllocsPerOp gates are the dynamic backstop);
+// calls through function values resolve to no callee and are reported
+// as unresolvable rather than traced; map writes of interface values
+// and implicit conversions in composite-literal elements are not
+// boxing-checked.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/reprolint"
+)
+
+// Analyzer is the hot-path performance-invariant checker.
+var Analyzer = &reprolint.Analyzer{
+	Name:       "hotpath",
+	Doc:        "hot_path: functions must not allocate, defer, or block; callees must be hot_path, cheap, or allowlisted",
+	RunProgram: run,
+}
+
+// cheapPkgs are stdlib packages whose functions and methods are
+// allocation-free and non-blocking for our call patterns.
+var cheapPkgs = map[string]bool{
+	"sync/atomic":     true,
+	"math/bits":       true,
+	"encoding/binary": true,
+}
+
+// cheapFuncs are individually allowlisted stdlib functions.
+var cheapFuncs = map[string]bool{
+	"(*sync.WaitGroup).Add":  true,
+	"(*sync.WaitGroup).Done": true,
+	"runtime.KeepAlive":      true,
+}
+
+// blockingFuncs block the calling goroutine outright.
+var blockingFuncs = map[string]bool{
+	"(*sync.WaitGroup).Wait": true,
+	"(*sync.Cond).Wait":      true,
+	"(*sync.Once).Do":        true,
+	"time.Sleep":             true,
+}
+
+// acquireFuncs block until the lock is free; allowed only for locks=
+// classes. TryLock/TryRLock never block and are not listed.
+var acquireFuncs = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+// releaseFuncs are the unlock methods the defer exemption recognizes.
+var releaseFuncs = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+type checker struct {
+	pass *reprolint.ProgramPass
+	g    *callgraph.Graph
+	ann  map[*callgraph.Node]reprolint.FuncAnn
+}
+
+func run(pass *reprolint.ProgramPass) error {
+	c := &checker{
+		pass: pass,
+		g:    callgraph.Build(pass.Prog),
+		ann:  map[*callgraph.Node]reprolint.FuncAnn{},
+	}
+	for _, n := range c.g.Nodes {
+		if n.Decl != nil {
+			c.ann[n] = reprolint.FuncAnnotation(n.Decl)
+		}
+	}
+	for _, n := range c.g.Nodes {
+		a := c.ann[n]
+		locks := nameSet(a.HotLocks)
+		switch {
+		case a.HotPath:
+			c.checkHot(n, locks)
+		case a.Cheap:
+			c.checkCheap(n, locks)
+		}
+	}
+	return nil
+}
+
+func nameSet(names []string) map[string]bool {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// checkHot enforces the full hot-path discipline on n's body. locks is
+// the set of lock-field classes the annotation allows acquiring.
+func (c *checker) checkHot(n *callgraph.Node, locks map[string]bool) {
+	info := n.Pkg.TypesInfo
+	name := n.Name()
+	edges := make(map[*ast.CallExpr]callgraph.Edge, len(n.Calls))
+	for _, e := range n.Calls {
+		edges[e.Site] = e
+	}
+	nonBlock := nonBlockingOps(n.Body)
+	// invoked marks immediately-invoked literals (checked through their
+	// own node, with the same lock context) and the selector expressions
+	// serving as call funs (so x.m() is not a method-value binding).
+	invoked := map[*ast.FuncLit]bool{}
+	callFuns := map[ast.Expr]bool{}
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == root {
+					return true
+				}
+				if !invoked[m] {
+					c.pass.Reportf(m.Pos(), "closure literal in hot path %s escapes (allocates); only an immediately-invoked literal is exempt", name)
+				}
+				return false // the literal's body is its own node
+			case *ast.GoStmt:
+				callFuns[ast.Unparen(m.Call.Fun)] = true
+				c.pass.Reportf(m.Pos(), "go statement in hot path %s: spawning a goroutine allocates and hands off to the scheduler", name)
+			case *ast.DeferStmt:
+				callFuns[ast.Unparen(m.Call.Fun)] = true
+				if !c.deferredUnlock(info, m.Call, locks) {
+					c.pass.Reportf(m.Pos(), "defer in hot path %s; only a deferred Unlock of a locks= class is exempt", name)
+				}
+			case *ast.SendStmt:
+				if !nonBlock[m] {
+					c.pass.Reportf(m.Pos(), "channel send in hot path %s blocks", name)
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !nonBlock[m] {
+					c.pass.Reportf(m.Pos(), "channel receive in hot path %s blocks", name)
+				}
+				if m.Op == token.AND {
+					if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+						c.pass.Reportf(m.Pos(), "heap allocation in hot path %s: &composite literal", name)
+					}
+				}
+			case *ast.SelectStmt:
+				if !hasDefault(m) {
+					c.pass.Reportf(m.Pos(), "select without default in hot path %s blocks", name)
+				}
+			case *ast.RangeStmt:
+				if t := info.Types[m.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						c.pass.Reportf(m.Pos(), "ranging over a channel in hot path %s blocks", name)
+					}
+				}
+			case *ast.CompositeLit:
+				if t := info.Types[m].Type; t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice:
+						c.pass.Reportf(m.Pos(), "heap allocation in hot path %s: slice literal", name)
+					case *types.Map:
+						c.pass.Reportf(m.Pos(), "heap allocation in hot path %s: map literal", name)
+					}
+				}
+			case *ast.BinaryExpr:
+				if m.Op == token.ADD && isStringType(info.Types[m].Type) && info.Types[m].Value == nil {
+					c.pass.Reportf(m.Pos(), "string concatenation in hot path %s allocates", name)
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[m]; ok && sel.Kind() == types.MethodVal && !callFuns[m] {
+					c.pass.Reportf(m.Pos(), "method value binding in hot path %s allocates a closure", name)
+				}
+			case *ast.AssignStmt:
+				if m.Tok == token.ASSIGN && len(m.Lhs) == len(m.Rhs) {
+					for i, lhs := range m.Lhs {
+						if t := info.Types[lhs].Type; c.boxes(info, t, m.Rhs[i]) {
+							c.pass.Reportf(m.Rhs[i].Pos(), "interface boxing in hot path %s: assignment allocates", name)
+						}
+					}
+				}
+				if m.Tok == token.ADD_ASSIGN && isStringType(info.Types[m.Lhs[0]].Type) {
+					c.pass.Reportf(m.Pos(), "string concatenation in hot path %s allocates", name)
+				}
+			case *ast.ValueSpec:
+				for i, v := range m.Values {
+					if i < len(m.Names) {
+						if obj := info.Defs[m.Names[i]]; obj != nil && c.boxes(info, obj.Type(), v) {
+							c.pass.Reportf(v.Pos(), "interface boxing in hot path %s: declaration allocates", name)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				sig := c.signatureOf(n)
+				if sig != nil && len(m.Results) == sig.Results().Len() {
+					for i, r := range m.Results {
+						if c.boxes(info, sig.Results().At(i).Type(), r) {
+							c.pass.Reportf(r.Pos(), "interface boxing in hot path %s: return allocates", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				callFuns[ast.Unparen(m.Fun)] = true
+				c.checkCall(n, m, edges, locks, invoked, name)
+			}
+			return true
+		})
+	}
+	walk(n.Body)
+}
+
+// checkCall applies the allocation and call-discipline rules to one
+// callsite in a hot function.
+func (c *checker) checkCall(n *callgraph.Node, call *ast.CallExpr, edges map[*ast.CallExpr]callgraph.Edge, locks map[string]bool, invoked map[*ast.FuncLit]bool, name string) {
+	info := n.Pkg.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins: the allocating ones are findings, the rest are free.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				c.pass.Reportf(call.Pos(), "heap allocation in hot path %s: new", name)
+			case "make":
+				c.pass.Reportf(call.Pos(), "heap allocation in hot path %s: make", name)
+			case "append":
+				c.pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array", name)
+			}
+			return
+		}
+	}
+
+	// Conversions: string<->bytes allocates; converting a concrete value
+	// to an interface type boxes. Constant-folded conversions are free.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 || info.Types[call].Value != nil {
+			return
+		}
+		dst, src := tv.Type, info.Types[call.Args[0]].Type
+		if src == nil {
+			return
+		}
+		if isStringType(dst) != isStringType(src) && (isStringType(dst) || isStringType(src)) {
+			c.pass.Reportf(call.Pos(), "string conversion in hot path %s allocates", name)
+		}
+		if c.boxes(info, dst, call.Args[0]) {
+			c.pass.Reportf(call.Pos(), "interface boxing in hot path %s: conversion allocates", name)
+		}
+		return
+	}
+
+	// Immediately-invoked literal: its body runs here, under the same
+	// lock context, through its own call-graph node.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		invoked[lit] = true
+		if ln, ok := c.g.ByLit[lit]; ok {
+			c.checkHot(ln, locks)
+		}
+		c.checkCallBoxing(info, call, name)
+		return
+	}
+
+	e, ok := edges[call]
+	if !ok {
+		return
+	}
+	if e.Go || e.Defer {
+		return // reported by the go/defer rules
+	}
+	// A call to a generic function resolves to the instantiated method
+	// object (the graph keys the generic origin), and a cross-package
+	// call resolves to an export-data object (the graph keys the
+	// source-checked one); bridge both before declaring it external.
+	if len(e.Callees) == 0 && e.Func != nil {
+		orig := e.Func.Origin()
+		if target, ok := c.g.ByFunc[orig]; ok {
+			e.Callees = []*callgraph.Node{target}
+		} else if target, ok := c.g.ByName[orig.FullName()]; ok {
+			e.Callees = []*callgraph.Node{target}
+		}
+	}
+
+	if e.Func != nil {
+		full := e.Func.FullName()
+		switch {
+		case blockingFuncs[full]:
+			c.pass.Reportf(call.Pos(), "%s in hot path %s blocks", full, name)
+			return
+		case acquireFuncs[full]:
+			if cls := lockClass(fun); !locks[cls] {
+				c.pass.Reportf(call.Pos(), "acquiring %s in hot path %s blocks; name it in the annotation (hot_path: locks=%s) if this short critical section is part of the contract", cls, name, cls)
+			}
+			return
+		case releaseFuncs[full]:
+			return // releasing never blocks; acquisition is the witness
+		case cheapFuncs[full]:
+			c.checkCallBoxing(info, call, name)
+			return
+		}
+		if pkg := e.Func.Pkg(); pkg != nil && cheapPkgs[pkg.Path()] {
+			c.checkCallBoxing(info, call, name)
+			return
+		}
+	}
+
+	switch {
+	case len(e.Callees) > 0:
+		for _, callee := range e.Callees {
+			if callee.Lit != nil {
+				continue // literals are flagged at their definition site
+			}
+			ca := c.ann[callee]
+			if !ca.HotPath && !ca.Cheap {
+				c.pass.Reportf(call.Pos(), "hot path %s calls %s, which is neither hot_path: nor cheap:", name, callee.Name())
+			}
+		}
+	case e.Func != nil:
+		c.pass.Reportf(call.Pos(), "hot path %s calls %s, which is outside the program and not on the cheap allowlist", name, e.Func.FullName())
+	default:
+		c.pass.Reportf(call.Pos(), "call through a function value in hot path %s: callee unresolvable, cannot prove it cheap", name)
+	}
+	c.checkCallBoxing(info, call, name)
+}
+
+// checkCallBoxing reports arguments that box into interface parameters
+// and variadic calls (whose argument slice allocates). Arguments to
+// panic never reach here (panic is a builtin).
+func (c *checker) checkCallBoxing(info *types.Info, call *ast.CallExpr, name string) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	fixed := params.Len()
+	if sig.Variadic() {
+		fixed--
+		if call.Ellipsis == token.NoPos && len(call.Args) > fixed {
+			c.pass.Reportf(call.Pos(), "variadic call in hot path %s allocates its argument slice", name)
+		}
+	}
+	for i, arg := range call.Args {
+		if i >= fixed {
+			break // variadic tail already reported as a slice allocation
+		}
+		if c.boxes(info, params.At(i).Type(), arg) {
+			c.pass.Reportf(arg.Pos(), "interface boxing in hot path %s: argument allocates", name)
+		}
+	}
+}
+
+// boxes reports whether passing src into a slot of type dst converts a
+// concrete value to an interface (which allocates). Type parameters are
+// skipped: their instantiations are checked at concrete callsites.
+func (c *checker) boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isTP := types.Unalias(dst).(*types.TypeParam); isTP {
+		return false
+	}
+	if !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	st := tv.Type
+	if _, isTP := types.Unalias(st).(*types.TypeParam); isTP {
+		return false
+	}
+	return !types.IsInterface(st)
+}
+
+// checkCheap trusts n's body to be amortized-cheap but still rejects
+// direct blocking operations in it.
+func (c *checker) checkCheap(n *callgraph.Node, locks map[string]bool) {
+	info := n.Pkg.TypesInfo
+	name := n.Name()
+	nonBlock := nonBlockingOps(n.Body)
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // a literal is its own node; cheap does not extend
+		case *ast.SendStmt:
+			if !nonBlock[m] {
+				c.pass.Reportf(m.Pos(), "channel send in cheap function %s blocks", name)
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && !nonBlock[m] {
+				c.pass.Reportf(m.Pos(), "channel receive in cheap function %s blocks", name)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(m) {
+				c.pass.Reportf(m.Pos(), "select without default in cheap function %s blocks", name)
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[m.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					c.pass.Reportf(m.Pos(), "ranging over a channel in cheap function %s blocks", name)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := reprolint.CalleeFunc(info, m); fn != nil {
+				full := fn.FullName()
+				switch {
+				case blockingFuncs[full]:
+					c.pass.Reportf(m.Pos(), "%s in cheap function %s blocks", full, name)
+				case acquireFuncs[full]:
+					if cls := lockClass(ast.Unparen(m.Fun)); !locks[cls] {
+						c.pass.Reportf(m.Pos(), "acquiring %s in cheap function %s blocks; name it in the annotation (cheap: locks=%s) if intended", cls, name, cls)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// deferredUnlock reports whether call is `<lock>.Unlock()`/`RUnlock()`
+// on a locks= class — the one defer hot paths are allowed.
+func (c *checker) deferredUnlock(info *types.Info, call *ast.CallExpr, locks map[string]bool) bool {
+	fn := reprolint.CalleeFunc(info, call)
+	if fn == nil || !releaseFuncs[fn.FullName()] {
+		return false
+	}
+	return locks[lockClass(ast.Unparen(call.Fun))]
+}
+
+// lockClass names the lock a Lock/Unlock call is on: the final selector
+// component (or identifier) of the receiver expression.
+func lockClass(fun ast.Expr) string {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return recv.Sel.Name
+	case *ast.Ident:
+		return recv.Name
+	}
+	return ""
+}
+
+func (c *checker) signatureOf(n *callgraph.Node) *types.Signature {
+	if n.Func != nil {
+		if sig, ok := n.Func.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	if n.Lit != nil {
+		if tv, ok := n.Pkg.TypesInfo.Types[n.Lit]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// nonBlockingOps marks the send/receive operations appearing as the
+// comm clauses of a select that has a default: they poll, not block.
+func nonBlockingOps(body ast.Node) map[ast.Node]bool {
+	m := map[ast.Node]bool{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectStmt)
+		if !ok || !hasDefault(sel) {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(y ast.Node) bool {
+				switch y := y.(type) {
+				case *ast.SendStmt:
+					m[y] = true
+				case *ast.UnaryExpr:
+					if y.Op == token.ARROW {
+						m[y] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return m
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -17,9 +17,12 @@
 // print as "sh"), deferred unlocks never clear held state, and function
 // literals are independent scopes — except that a literal inherits the
 // locks_held contract of the declaration it is defined in, for the
-// synchronous-callback idiom (a literal that escapes to a goroutine
-// from a locks_held function evades this; syntactic lock state still
-// never crosses into a literal). This catches the real bug class — a
+// synchronous-callback idiom. A literal handed to a `go` statement is
+// excluded from that inheritance: it runs on another goroutine, after
+// the caller may have released everything the contract promised, so
+// its guarded accesses must re-acquire the mutex (or carry a
+// //lint:ignore with the reason the schedule is safe). Syntactic lock
+// state still never crosses into any literal. This catches the real bug class — a
 // new code path touching a sharded map without taking the shard lock —
 // without attempting whole-program alias analysis. Accesses whose guard
 // the checker cannot see (a lock taken under a different name for the
@@ -50,11 +53,36 @@ func run(pass *reprolint.Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		escaped := goEscapedLits(file)
 		for _, scope := range reprolint.FuncScopes(file) {
-			checkScope(pass, scope, guards)
+			checkScope(pass, scope, guards, escaped)
 		}
 	}
 	return nil
+}
+
+// goEscapedLits collects the function literals handed to a go
+// statement — as the spawned function or as one of its arguments.
+// These run asynchronously, so the enclosing declaration's locks_held
+// contract must not extend into them.
+func goEscapedLits(file *ast.File) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			out[lit] = true
+		}
+		for _, a := range g.Call.Args {
+			if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // collectGuards maps each annotated field's types.Var to the mutex field
@@ -100,9 +128,15 @@ type access struct {
 	mus  []string
 }
 
-func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope, guards map[*types.Var][]string) {
+func checkScope(pass *reprolint.Pass, scope reprolint.FuncScope, guards map[*types.Var][]string, escaped map[*ast.FuncLit]bool) {
+	encl := scope.Encl
+	if scope.Lit != nil && escaped[scope.Lit] {
+		// The literal runs on another goroutine; by the time it does,
+		// the caller may have released everything locks_held promised.
+		encl = nil
+	}
 	contract := map[string]bool{} // locks_held: mutex held for any base
-	for _, fd := range []*ast.FuncDecl{scope.Decl, scope.Encl} {
+	for _, fd := range []*ast.FuncDecl{scope.Decl, encl} {
 		if fd == nil {
 			continue
 		}

@@ -59,6 +59,27 @@ import (
 //	    select with a default, no further Lock of any class, no file
 //	    I/O, no Cond/WaitGroup waits, directly or through any resolved
 //	    callee (lockorder).
+//
+//	// hot_path: [locks=<mutex>[,<mutex>...]] [prose]
+//	    On a function: it is on a performance-critical path. hotpath
+//	    forbids heap-allocation sites, defer (except a deferred Unlock
+//	    of an allowed lock class), and blocking ops inside it, and
+//	    requires every resolved callee to be hot_path, cheap, or on
+//	    the stdlib cheap allowlist. The optional locks= list (no
+//	    spaces, comma-separated field names) names the short
+//	    critical-section classes the function may take. escapegate
+//	    additionally cross-checks the compiler's escape analysis.
+//
+//	// cheap: [locks=<mutex>[,<mutex>...]] [prose]
+//	    On a function: hot_path callers may call it. Its body is
+//	    trusted to be amortized-cheap (allocation is allowed — e.g.
+//	    the CoW fault path allocates the private copy by design) but
+//	    hotpath still rejects direct blocking ops in it, with the
+//	    same locks= escape for its own short critical sections.
+//
+//	// inline:
+//	    On a function: escapegate asserts the compiler reports it
+//	    inlinable (canInlineFunction); a declined inline is a finding.
 
 // FuncAnn is the set of function-level directives.
 type FuncAnn struct {
@@ -68,6 +89,12 @@ type FuncAnn struct {
 	BumpsEpoch      bool
 	DurablePublish  bool
 	LocksHeld       []string
+
+	// Performance-invariant directives (hotpath/escapegate).
+	HotPath  bool
+	Cheap    bool
+	Inline   bool
+	HotLocks []string // locks= classes a hot_path/cheap body may take
 }
 
 // FuncAnnotation parses fn's doc comment directives.
@@ -91,9 +118,43 @@ func FuncAnnotation(fn *ast.FuncDecl) FuncAnn {
 			a.DurablePublish = true
 		case directiveIs(line, "locks_held"):
 			a.LocksHeld = append(a.LocksHeld, parseNameList(line)...)
+		// The performance directives require the colon form: "cheap"
+		// and "inline" are ordinary words a doc comment may start with.
+		case strings.HasPrefix(line, "hot_path:"):
+			a.HotPath = true
+			a.HotLocks = append(a.HotLocks, parseLocksList(line)...)
+		case strings.HasPrefix(line, "cheap:"):
+			a.Cheap = true
+			a.HotLocks = append(a.HotLocks, parseLocksList(line)...)
+		case strings.HasPrefix(line, "inline:"):
+			a.Inline = true
 		}
 	}
 	return a
+}
+
+// parseLocksList extracts the comma-separated (no spaces) identifier
+// list after a "locks=" token, e.g. "hot_path: locks=closeMu,mu serves
+// the shard hit path" yields [closeMu mu]. Trailing prose after the
+// list is tolerated; a space ends the list.
+func parseLocksList(line string) []string {
+	_, rest, ok := strings.Cut(line, "locks=")
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(rest, ",") {
+		name := identPrefix(part)
+		if name == "" {
+			break
+		}
+		out = append(out, name)
+		// Prose after the name ends the list: "locks=mu then prose".
+		if len(name) != len(part) {
+			break
+		}
+	}
+	return out
 }
 
 // FieldGuards returns the mutex names named by guarded_by directives on
@@ -237,6 +298,14 @@ func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 		}
 	}
 	return a
+}
+
+// Filter drops diagnostics suppressed by a //lint: directive, returning
+// the survivors and the number suppressed. It is the exported form of
+// filterIgnored for out-of-package analyzers (escapegate) that produce
+// diagnostics outside the RunAnalyzers pipeline.
+func (a *Annotations) Filter(diags []Diagnostic) ([]Diagnostic, int) {
+	return a.filterIgnored(diags)
 }
 
 // filterIgnored drops diagnostics suppressed by a directive on their own

@@ -69,3 +69,52 @@ func badCopyArg(s *Stats) int64 {
 
 // goodPointerShare shares the atomic by pointer: clean.
 func goodPointerShare(s *Stats) *atomic.Int64 { return &s.n }
+
+// shardStat contains an atomic one struct deep — the range-copy check
+// must see through the nesting.
+type shardStat struct {
+	name string
+	s    Stats
+}
+
+// badRangeSlice copies each element — and its atomic — per iteration.
+func badRangeSlice(stats []shardStat) int64 {
+	var total int64
+	for _, st := range stats { // want `range clause copies element .*shardStat containing sync/atomic.Int64`
+		total += st.s.n.Load()
+	}
+	return total
+}
+
+// badRangeMapValue: map values are copied out per iteration too.
+func badRangeMapValue(m map[string]Stats) {
+	for _, v := range m { // want `range clause copies value .*Stats containing sync/atomic.Int64`
+		_ = v
+	}
+}
+
+// badRangeChan: receiving from a channel of atomics copies each element.
+func badRangeChan(ch chan Stats) {
+	for v := range ch { // want `range clause copies element .*Stats containing sync/atomic.Int64`
+		_ = v
+	}
+}
+
+// goodRangeIndex iterates by index: nothing is copied.
+func goodRangeIndex(stats []shardStat) int64 {
+	var total int64
+	for i := range stats {
+		total += stats[i].s.n.Load()
+	}
+	return total
+}
+
+// goodRangePointers ranges over pointers: the pointee is shared, not
+// copied.
+func goodRangePointers(stats []*shardStat) int64 {
+	var total int64
+	for _, st := range stats {
+		total += st.s.n.Load()
+	}
+	return total
+}

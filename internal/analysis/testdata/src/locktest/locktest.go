@@ -72,3 +72,47 @@ func suppressedConstructor() *shard {
 func cleanUnguarded(sh *shard) *sync.Mutex {
 	return &sh.mu
 }
+
+// heldHelper documents the caller contract; its enclosed synchronous
+// literal inherits it.
+//
+// locks_held: mu
+func heldHelper(sh *shard) {
+	run := func() {
+		sh.victim = 1 // clean: synchronous literal under the contract
+	}
+	run()
+}
+
+// badGoFromHeld: a literal handed to `go` from a locks_held function
+// runs after the caller may have released mu — the contract must not
+// transfer.
+//
+// locks_held: mu
+func badGoFromHeld(sh *shard) {
+	sh.victim = 2 // clean: the contract covers the synchronous body
+	go func() {
+		sh.victim = 3 // want `guarded_by: mu`
+	}()
+}
+
+// goodGoReacquires: the spawned literal takes the lock itself.
+//
+// locks_held: mu
+func goodGoReacquires(sh *shard) {
+	go func() {
+		sh.mu.Lock()
+		sh.victim = 4
+		sh.mu.Unlock()
+	}()
+}
+
+// goArgLiteral: a literal passed as an argument to the spawned call
+// escapes to the goroutine just the same.
+//
+// locks_held: mu
+func goArgLiteral(sh *shard, spawn func(fn func())) {
+	go spawn(func() {
+		sh.victim = 5 // want `guarded_by: mu`
+	})
+}

@@ -56,6 +56,8 @@ type AddressSpace struct {
 // without tracking which space issued it.
 var epochCounter atomic.Uint64
 
+// nextEpoch issues the next process-wide epoch token.
+// hot_path: one atomic increment.
 func nextEpoch() uint64 { return epochCounter.Add(1) }
 
 // NewAddressSpace returns an empty address space drawing frames from alloc.
@@ -106,6 +108,8 @@ func (as *AddressSpace) Sealed() bool { return as.sealed }
 // mutated, and since they take no writes their dirty set is empty anyway.
 //
 // bumps_epoch
+// hot_path: the O(1) capture primitive — a branch, an atomic increment,
+// and two stores.
 func (as *AddressSpace) AdvanceEpoch() uint64 {
 	if as.sealed {
 		return as.pt.epoch
@@ -328,6 +332,8 @@ func (as *AddressSpace) shrinkHeap(heap *VMA, newEnd uint64) {
 // MMU would raise, or nil. The range may span multiple contiguous VMAs; the
 // permission verdict for each VMA covers every page of the access inside
 // it, so one call validates the whole range regardless of page count.
+// cheap: a short VMA binary search per access; faults allocate only on
+// the error path.
 func (as *AddressSpace) check(addr uint64, n int, access Access) error {
 	if n == 0 {
 		return nil
@@ -374,15 +380,20 @@ func (as *AddressSpace) checkMapped(addr uint64, n int) error {
 
 // ReadAt copies len(p) bytes at addr into p, observing region protection.
 // Unwritten pages read as zeroes (demand-zero).
+// hot_path: the guest load entry point.
 func (as *AddressSpace) ReadAt(p []byte, addr uint64) error {
 	return as.read(p, addr, AccessRead)
 }
 
 // FetchAt is ReadAt with execute permission, used for instruction fetch.
+// hot_path: the instruction-fetch entry point.
 func (as *AddressSpace) FetchAt(p []byte, addr uint64) error {
 	return as.read(p, addr, AccessExec)
 }
 
+// read is the shared guest read loop.
+// hot_path: a TLB hit is a tag compare plus copy; every callee is hot
+// or cheap.
 func (as *AddressSpace) read(p []byte, addr uint64, access Access) error {
 	n := len(p)
 	if n == 0 {
@@ -438,6 +449,7 @@ func (as *AddressSpace) read(p []byte, addr uint64, access Access) error {
 // shared with a snapshot take a CoW fault and copy the page first. The
 // common case — repeated stores to a page this space already privately
 // owns — hits the software TLB and touches no page-table state at all.
+// hot_path: the guest store entry point.
 func (as *AddressSpace) WriteAt(p []byte, addr uint64) error {
 	n := len(p)
 	if n == 0 {
@@ -475,6 +487,7 @@ func (as *AddressSpace) WriteForce(p []byte, addr uint64) error {
 // leaf node is resolved once per 512-page span (run-length), so large
 // writes pay one radix walk per span plus one refcount check per page
 // instead of a full walk per page.
+// cheap: the store slow path — CoW materialization allocates by design.
 func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
 	if as.sealed {
 		return sealedWriteFault(addr)
@@ -522,6 +535,7 @@ func (as *AddressSpace) writePages(p []byte, addr uint64, force bool) error {
 // ReadU64 loads a little-endian 64-bit word. Aligned loads take the
 // single-page fast path: a TLB hit is one mask+compare, no VMA check and
 // no radix walk.
+// hot_path: the aligned-load fast path.
 func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	if addr&7 == 0 {
 		vpn := addr >> PageShift
@@ -568,6 +582,7 @@ func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 // WriteU64 stores a little-endian 64-bit word. Aligned stores to a page
 // this space privately owns hit the write TLB and bypass the page table
 // entirely.
+// hot_path: the aligned-store fast path.
 func (as *AddressSpace) WriteU64(addr, val uint64) error {
 	if addr&7 == 0 {
 		vpn := addr >> PageShift
@@ -710,6 +725,7 @@ func (as *AddressSpace) FrameAt(addr uint64) *Frame { return lookup(as.pt.root, 
 // TouchWritable forces the page containing addr to be privately owned,
 // taking the CoW fault eagerly. Benchmarks use it to charge fault costs at
 // controlled points.
+// hot_path: a write-TLB probe; the fault arm is cheap.
 func (as *AddressSpace) TouchWritable(addr uint64) error {
 	vpn := addr >> PageShift
 	if _, ok := as.tlb.writeFrame(vpn, as.pt.epoch); ok {

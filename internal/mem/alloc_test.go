@@ -1,0 +1,46 @@
+package mem
+
+import "testing"
+
+// The hot_path: annotations on the TLB-hit read/write paths promise
+// zero heap allocation per op; reprolint's hotpath analyzer enforces it
+// statically and escapegate checks the compiler's verdicts, but the
+// runtime allocation counter is the ground truth both approximate.
+
+func TestReadWriteU64HitPathZeroAlloc(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, 16*PageSize, PermRW, "data")
+	// Warm: fault the page in and seed the TLB so the measured loop is
+	// pure hit path.
+	if err := as.WriteU64(0x10008, 1); err != nil {
+		t.Fatalf("warm WriteU64: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := as.WriteU64(0x10008, 42); err != nil {
+			t.Fatalf("WriteU64: %v", err)
+		}
+		v, err := as.ReadU64(0x10008)
+		if err != nil || v != 42 {
+			t.Fatalf("ReadU64 = %d, %v", v, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TLB-hit ReadU64/WriteU64 allocated %.1f times per op; the hot path must not touch the heap", allocs)
+	}
+}
+
+func TestTouchWritableHitPathZeroAlloc(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, 4*PageSize, PermRW, "data")
+	if err := as.TouchWritable(0x10010); err != nil {
+		t.Fatalf("warm TouchWritable: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := as.TouchWritable(0x10010); err != nil {
+			t.Fatalf("TouchWritable: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TLB-hit TouchWritable allocated %.1f times per op", allocs)
+	}
+}

@@ -48,6 +48,8 @@ func PageNumber(addr uint64) uint64 { return addr >> PageShift }
 
 // levelIndex returns the radix index of addr at the given level.
 // Level numLevels-1 is the root, level 0 holds PTEs.
+// hot_path: shift-and-mask arithmetic.
+// inline:
 func levelIndex(addr uint64, level int) int {
 	return int((addr >> (PageShift + uint(level)*levelBits)) & levelMask)
 }

@@ -80,6 +80,7 @@ func cloneNode(n *tableNode) *tableNode {
 
 // lookup walks the table for a read access and returns the frame backing
 // addr, or nil when the page has never been written (demand-zero).
+// hot_path: a pure 4-level pointer chase; no allocation, no locks.
 func lookup(root *tableNode, addr uint64) *Frame {
 	n := root
 	for level := numLevels - 1; level > 0; level-- {
@@ -112,6 +113,8 @@ type pageTable struct {
 // levelSize contiguous pages, so run-length write paths resolve it once
 // per span instead of re-walking from the root per page. stats is charged
 // for node clones.
+// cheap: the CoW fault path — node clones allocate by design, amortized
+// to one per shared subtree per epoch.
 func (pt *pageTable) ensureLeaf(addr uint64, stats *Stats) *tableNode {
 	if pt.root == nil {
 		pt.root = newNode(numLevels - 1)
@@ -145,6 +148,8 @@ func (pt *pageTable) ensureLeaf(addr uint64, stats *Stats) *tableNode {
 // materializing a demand-zero page or CoW-copying a shared one. leaf must
 // be exclusively owned (returned by ensureLeaf). stats is charged for
 // zero fills and CoW copies.
+// cheap: the CoW fault path — the private page copy allocates by design,
+// once per shared page per epoch.
 func (pt *pageTable) ensureFrame(leaf *tableNode, idx int, stats *Stats) (*Frame, error) {
 	f := leaf.ptes[idx]
 	switch {
@@ -179,6 +184,7 @@ func (pt *pageTable) ensureFrame(leaf *tableNode, idx int, stats *Stats) (*Frame
 // ensureWritable returns a frame backing addr that is exclusively owned by
 // this table, path-copying shared nodes and CoW-copying a shared frame.
 // stats is charged for clones, zero fills and CoW copies.
+// cheap: composition of the two CoW fault helpers.
 func (pt *pageTable) ensureWritable(addr uint64, stats *Stats) (*Frame, error) {
 	return pt.ensureFrame(pt.ensureLeaf(addr, stats), levelIndex(addr, 0), stats)
 }

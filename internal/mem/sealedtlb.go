@@ -28,6 +28,7 @@ type sealedEntry struct {
 }
 
 // sealedProbe looks vpn up in the sealed read cache.
+// hot_path: the sealed-read fast path; two atomic loads and a compare.
 func (as *AddressSpace) sealedProbe(vpn uint64) (*Frame, bool) {
 	st := as.stlb.Load()
 	if st == nil {
@@ -44,6 +45,7 @@ func (as *AddressSpace) sealedProbe(vpn uint64) (*Frame, bool) {
 // sealedFill publishes vpn → f after a slow-path read resolution on a
 // sealed space, charging one miss. The cache itself is allocated lazily on
 // the first miss so sealed spaces that are never read pay nothing.
+// cheap: miss-path publication; allocates one immutable entry per fill.
 func (as *AddressSpace) sealedFill(vpn uint64, f *Frame) {
 	st := as.stlb.Load()
 	if st == nil {
@@ -60,6 +62,7 @@ func (as *AddressSpace) sealedFill(vpn uint64, f *Frame) {
 // and demand-zero semantics to read(), but translations are cached in the
 // shared sealed cache instead of the single-owner TLB, keeping concurrent
 // readers race-free while still amortizing the radix walk.
+// hot_path: the sealed read loop; all callees are hot or cheap.
 func (as *AddressSpace) readSealed(p []byte, addr uint64, access Access) error {
 	n := len(p)
 	// Fast path: single-page read already cached.
@@ -99,6 +102,7 @@ func (as *AddressSpace) readSealed(p []byte, addr uint64, access Access) error {
 // sealedWriteFault is the fault every write path raises on a sealed space:
 // the view is shared read-only by contract, exactly like a page whose VMA
 // grants no write permission.
+// cheap: constructs the fault; writes to sealed views are off the hot path.
 func sealedWriteFault(addr uint64) error {
 	return &Fault{Kind: FaultProtection, Addr: addr, Access: AccessWrite}
 }

@@ -82,6 +82,8 @@ var tlbEntriesPool = sync.Pool{New: func() any { return new(tlbEntries) }}
 
 // readFrame probes the read cache. On a hit it charges the hit and returns
 // the cached frame (nil frame = demand-zero page, ok = true).
+// hot_path: the guest read fast path; a tag compare and two loads.
+// inline:
 func (t *tlb) readFrame(vpn uint64) (*Frame, bool) {
 	e := t.e
 	if e == nil {
@@ -99,6 +101,8 @@ func (t *tlb) readFrame(vpn uint64) (*Frame, bool) {
 // hit it charges the hit and returns the privately-owned frame; an entry
 // recorded under an earlier epoch never hits, because an intervening
 // capture may have shared the frame.
+// hot_path: the guest write fast path; tag+epoch compare and two loads.
+// inline:
 func (t *tlb) writeFrame(vpn, epoch uint64) (*Frame, bool) {
 	e := t.e
 	if e == nil {
@@ -113,6 +117,7 @@ func (t *tlb) writeFrame(vpn, epoch uint64) (*Frame, bool) {
 }
 
 // entries returns the entry block, taking one from the pool on first use.
+// cheap: one pooled allocation per space lifetime, amortized to zero.
 func (t *tlb) entries() *tlbEntries {
 	if t.e == nil {
 		t.e = tlbEntriesPool.Get().(*tlbEntries)
@@ -122,6 +127,7 @@ func (t *tlb) entries() *tlbEntries {
 
 // fillRead records vpn → f (nil f = demand-zero) after a slow-path read
 // resolution, charging one miss.
+// cheap: miss-path bookkeeping; at most one pooled block fetch.
 func (t *tlb) fillRead(vpn uint64, f *Frame) {
 	if t.off {
 		return
@@ -137,6 +143,7 @@ func (t *tlb) fillRead(vpn uint64, f *Frame) {
 // slow-path write resolution, charging one miss. f is privately owned
 // (ensureFrame guarantees it). The read entry for vpn, if present, is
 // refreshed: a CoW copy just replaced the frame the reader cached.
+// cheap: miss-path bookkeeping; at most one pooled block fetch.
 func (t *tlb) fillWrite(vpn uint64, f *Frame, epoch uint64) {
 	if t.off {
 		return
@@ -156,6 +163,7 @@ func (t *tlb) fillWrite(vpn uint64, f *Frame, epoch uint64) {
 // by the kernel write path (WriteForce), which may CoW-replace a frame but
 // must not assert guest readability or writability (the page may be
 // exec-only), and which stays out of the hit/miss accounting.
+// cheap: two loads and at most one store.
 func (t *tlb) refreshRead(vpn uint64, f *Frame) {
 	e := t.e
 	if e == nil {

@@ -104,6 +104,7 @@ func (s *Sharded[T]) Quiescent() bool { return s.pending.Load() == 0 }
 // returns false — without retaining anything — when the pool is closed;
 // the caller still owns the items. A worker that pushes from inside an
 // evaluation must do so before its Done, or Quiescent can fire early.
+// hot_path: locks=mu one short critical section per sibling batch.
 func (s *Sharded[T]) Push(w int, items []Item[T]) bool {
 	if len(items) == 0 {
 		return true
@@ -115,6 +116,7 @@ func (s *Sharded[T]) Push(w int, items []Item[T]) bool {
 		return false
 	}
 	for i := len(items) - 1; i >= 0; i-- {
+		//lint:ignore hotpath amortized growth: the deque doubles capacity, O(1)/push
 		sh.items = append(sh.items, items[i])
 	}
 	s.queued.Add(int64(len(items)))
@@ -128,6 +130,7 @@ func (s *Sharded[T]) Push(w int, items []Item[T]) bool {
 // caller's Done, so every successful Pop must be paired with Done after
 // the evaluation — and any pushes it performs — complete. stolen reports
 // whether the item came from another worker's deque.
+// hot_path: the local pop is the common case; a steal sweep is cheap.
 func (s *Sharded[T]) Pop(w int) (it Item[T], stolen bool, ok bool) {
 	if it, ok := s.popLocal(w); ok {
 		return it, false, true
@@ -140,8 +143,13 @@ func (s *Sharded[T]) Pop(w int) (it Item[T], stolen bool, ok bool) {
 }
 
 // Done retires an item returned by a successful Pop.
+// hot_path: one atomic decrement.
+// inline:
 func (s *Sharded[T]) Done(w int) { s.pending.Add(-1) }
 
+// popLocal pops from w's own deque (newest-first, or uniformly random
+// under StealRandom).
+// hot_path: locks=mu a swap-and-truncate under the shard lock.
 func (s *Sharded[T]) popLocal(w int) (Item[T], bool) {
 	sh := &s.shards[w]
 	sh.mu.Lock()
@@ -170,6 +178,8 @@ func (s *Sharded[T]) popLocal(w int) (Item[T], bool) {
 // steal sweeps the other shards round-robin from w's cursor, moving the
 // older half of the first non-empty victim deque into w's own deque and
 // returning the oldest item for immediate evaluation.
+// cheap: locks=mu a steal happens only when the local deque is empty;
+// banking the loot allocates by design.
 func (s *Sharded[T]) steal(w int) (Item[T], bool) {
 	var zero Item[T]
 	n := len(s.shards)
@@ -213,6 +223,7 @@ func (s *Sharded[T]) steal(w int) (Item[T], bool) {
 
 // stealFrom removes and returns the older half (rounded up) of shard v.
 // The moved items stay counted in queued until re-banked or returned.
+// cheap: locks=mu the loot slice allocates once per successful steal.
 func (s *Sharded[T]) stealFrom(v int) []Item[T] {
 	sh := &s.shards[v]
 	sh.mu.Lock()

@@ -319,6 +319,8 @@ func (s *SMAStar[T]) PushAll(items []Item[T]) {
 // xorshiftMul advances an xorshift64* state, returning the new state and
 // the output word — the PRNG step shared by Random and the sharded
 // scheduler's per-worker streams.
+// hot_path: three shifts and a multiply.
+// inline:
 func xorshiftMul(state uint64) (newState, out uint64) {
 	x := state
 	x ^= x >> 12

@@ -201,6 +201,7 @@ type shard struct {
 // lruRemove unlinks e from the shard's LRU list. Callers hold sh.mu.
 //
 // locks_held: mu
+// hot_path: pointer splicing on the lookup hit path.
 func (sh *shard) lruRemove(e *entry) {
 	if !e.inLRU {
 		return
@@ -222,6 +223,7 @@ func (sh *shard) lruRemove(e *entry) {
 // Callers hold sh.mu.
 //
 // locks_held: mu
+// hot_path: pointer splicing on the lookup hit path.
 func (sh *shard) lruPushBack(e *entry) {
 	e.prev, e.next = sh.lruTail, nil
 	if sh.lruTail != nil {
@@ -236,6 +238,7 @@ func (sh *shard) lruPushBack(e *entry) {
 // lruTouch moves e to the most-recently-used end. Callers hold sh.mu.
 //
 // locks_held: mu
+// hot_path: two splices, no allocation.
 func (sh *shard) lruTouch(e *entry) {
 	sh.lruRemove(e)
 	sh.lruPushBack(e)
@@ -365,12 +368,38 @@ func NewWithConfig(cfg Config) *Service {
 	return s
 }
 
+// shardFor selects the shard owning id.
+//
+// hot_path: a mask and an index.
+// inline:
 func (s *Service) shardFor(id uint64) *shard { return s.shards[id&s.mask] }
+
+// resolveMiss handles a lookup that found no live entry for id: a
+// spilled id is promoted from the persistence tier (retry=true tells
+// the caller to re-run its shard probe), anything else resolves to the
+// shard's explanation of the absence. Callers hold closeMu shared but
+// NOT sh.mu — Has can wait on a demotion's commit, and that wait must
+// not stall the whole shard.
+func (s *Service) resolveMiss(sh *shard, id uint64) (retry bool, err error) {
+	if s.store != nil && s.store.Has(id) {
+		if err := s.reload(id); err != nil {
+			return false, err
+		}
+		return true, nil // promoted (or raced back out: the caller's loop decides)
+	}
+	sh.mu.Lock()
+	err = sh.missing(id)
+	sh.mu.Unlock()
+	return false, err
+}
 
 // lookup retains the state behind id and bumps its LRU clock, and marks
 // one in-flight operation. A spilled id is transparently promoted from
 // the persistence tier first. On success the caller must Release the
 // state and call s.inflight.Done().
+//
+// hot_path: locks=closeMu,mu the hit path is two short critical
+// sections and two atomic bumps; the miss arm lives in resolveMiss.
 func (s *Service) lookup(id uint64) (*snapshot.State, error) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
@@ -382,18 +411,12 @@ func (s *Service) lookup(id uint64) (*snapshot.State, error) {
 		sh.mu.Lock()
 		e, ok := sh.entries[id]
 		if !ok {
-			// Probe the cold tier off-lock: Has can wait on a demotion's
-			// commit, and that wait must not stall the whole shard.
 			sh.mu.Unlock()
-			if s.store != nil && s.store.Has(id) {
-				if err := s.reload(id); err != nil {
-					return nil, err
-				}
-				continue // promoted (or raced back out: loop decides)
+			//lint:ignore hotpath cold miss path: promote from the store or explain the absence
+			retry, err := s.resolveMiss(sh, id)
+			if retry {
+				continue
 			}
-			sh.mu.Lock()
-			err := sh.missing(id)
-			sh.mu.Unlock()
 			return nil, err
 		}
 		e.lastUse = s.clock.Add(1)
@@ -843,6 +866,9 @@ func (s *Service) Pin(id uint64) error {
 // spilled id promotes it (the keep-alive would be meaningless cold).
 // Returns nil for a live or spilled reference, ErrEvicted or
 // ErrUnknownRef otherwise.
+//
+// hot_path: locks=closeMu,mu a keep-alive is lookup's hit path minus
+// the Retain; the miss arm lives in resolveMiss.
 func (s *Service) Touch(id uint64) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
@@ -855,15 +881,11 @@ func (s *Service) Touch(id uint64) error {
 		e, ok := sh.entries[id]
 		if !ok {
 			sh.mu.Unlock()
-			if s.store != nil && s.store.Has(id) {
-				if err := s.reload(id); err != nil {
-					return err
-				}
+			//lint:ignore hotpath cold miss path: promote from the store or explain the absence
+			retry, err := s.resolveMiss(sh, id)
+			if retry {
 				continue
 			}
-			sh.mu.Lock()
-			err := sh.missing(id)
-			sh.mu.Unlock()
 			return err
 		}
 		e.lastUse = s.clock.Add(1)
