@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/store/ ./internal/checkpoint/ ./internal/analysis/... .
+	go test -race ./internal/mem/ ./internal/core/ ./internal/search/ ./internal/service/ ./internal/service/wire/ ./internal/loadgen/ ./internal/store/ ./internal/checkpoint/ ./internal/analysis/... .
 
 # lint runs reprolint, the repo's own go/analysis suite enforcing the
 # snapshot-lifecycle, lock-guard, lock-order/no_block, atomic-access,
@@ -35,11 +35,11 @@ escape-baseline:
 
 # bench-ci emits the machine-readable quick-scale numbers CI archives
 # per commit: TLB locality (E11), work-stealing scaling (E12), the
-# persistent store (E14), and asynchronous capture (E15).
-# BENCH_seed.json is the committed baseline from the PR that introduced
-# the trajectory; diff new artifacts against it.
+# persistent store (E14), asynchronous capture (E15), and wire-protocol
+# pipelining (E16). BENCH_seed.json is the committed baseline from the
+# PR that introduced the trajectory; diff new artifacts against it.
 bench-ci:
-	go run ./cmd/snapbench -quick -e 11,12,14,15 -json BENCH_ci.json
+	go run ./cmd/snapbench -quick -e 11,12,14,15,16 -json BENCH_ci.json
 
 # bench-diff gates the fresh bench-ci artifact against the committed
 # seed: generous cross-machine thresholds (3x latency, 1/3 throughput)

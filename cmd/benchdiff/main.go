@@ -146,6 +146,24 @@ var rules = []rule{
 		part: -1, dir: equalParts,
 		why: "backtracking verdicts must be identical to the synchronous baseline",
 	},
+	{
+		exp: 16, column: "req/s", keyCols: []string{"phase", "conns", "depth"},
+		only: func(k map[string]string) bool { return k["phase"] == "pipeline" },
+		part: -1, dir: atLeast, factor: 1.0 / 3,
+		why: "wire-protocol throughput (§3.2 as a service) must not collapse",
+	},
+	{
+		exp: 16, column: "p99", keyCols: []string{"phase", "conns", "depth"},
+		only: func(k map[string]string) bool { return k["phase"] == "pipeline" },
+		part: -1, dir: atMost, factor: 20.0,
+		why: "reply tail latency on loopback; 20x headroom for CI jitter",
+	},
+	{
+		exp: 16, column: "check", keyCols: []string{"phase"},
+		only: func(k map[string]string) bool { return strings.HasPrefix(k["phase"], "verdict-identity") },
+		part: -1, dir: equalParts,
+		why: "pipelined and batched verdict streams must match the serial ground truth",
+	},
 }
 
 // rowResult is one row comparison in the diff report.

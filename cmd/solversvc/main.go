@@ -5,6 +5,17 @@
 // the point: a reference parked by one client can be branched by another,
 // and siblings physically share all unmodified state.
 //
+// TCP sessions can upgrade to a length-prefixed binary protocol
+// (internal/service/wire): a client whose first line is "binary <maxver>"
+// gets "proto binary <ver>" back and the connection switches to framed
+// requests with client-chosen request ids, pipelining with out-of-order
+// completion, and batched extends (N clause groups → N sibling ids in
+// one round trip). Anything else on the first line — including the
+// "err: unknown command" an older server would answer — keeps the
+// session in the text protocol, so clients degrade gracefully.
+// Per-reply write deadlines (-write-timeout) terminate a session whose
+// peer has stopped reading instead of wedging its goroutine in a write.
+//
 // SIGINT/SIGTERM shut the service down gracefully: the listener stops
 // accepting, in-flight commands finish (their solves are cancelled via
 // the request context), every parked snapshot is released, and the
@@ -37,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -52,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/wire"
 	"repro/internal/solver"
 	"repro/internal/store"
 )
@@ -64,7 +77,8 @@ const maxLineBytes = 8 << 20
 
 // config carries the per-session serving knobs.
 type config struct {
-	reqTimeout time.Duration // per-request deadline for extend; 0 = none
+	reqTimeout   time.Duration // per-request deadline for extend; 0 = none
+	writeTimeout time.Duration // per-reply write deadline; 0 = none
 }
 
 const banner = "solversvc ready; problem 0 is the permanent empty root (send `help` for the protocol)"
@@ -78,6 +92,9 @@ const helpText = `commands:
   stats                                    extends, evictions, refs, live snapshots, sharing footprint
   help                                     this text
   quit                                     end the session
+  binary <maxver>                          (first line of a TCP session only) switch to the
+                                           length-prefixed binary protocol: pipelined framed
+                                           requests with client-chosen ids and batched extends
 rules: reference 0 is the permanent empty base problem — it can be neither
 released nor evicted, so every session can branch from it. With -cap N at
 most N unpinned references stay parked; the least recently used beyond
@@ -96,6 +113,7 @@ func main() {
 	capacity := flag.Int("cap", 0, "max parked unpinned references; 0 = unbounded; LRU-evicted beyond")
 	shards := flag.Int("shards", 0, "reference-table lock shards (0 = default)")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request deadline for extend (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-reply write deadline: a peer that stops reading fails its session instead of wedging it (0 disables)")
 	storeDir := flag.String("store", "", "persistence directory: evictions demote to disk instead of dropping, and a restart recovers previously-parked ids")
 	flag.Parse()
 
@@ -113,7 +131,7 @@ func main() {
 		}
 	}
 	svc := service.NewWithConfig(service.Config{Capacity: *capacity, Shards: *shards, Store: cold})
-	cfg := config{reqTimeout: *reqTimeout}
+	cfg := config{reqTimeout: *reqTimeout, writeTimeout: *writeTimeout}
 
 	var sessionErr error
 	if *listen != "" {
@@ -127,9 +145,11 @@ func main() {
 	} else {
 		out := bufio.NewWriter(os.Stdout)
 		fmt.Fprintln(out, banner)
-		out.Flush()
-		sessionErr = runSession(ctx, svc, os.Stdin, out, cfg)
-		out.Flush()
+		if err := out.Flush(); err != nil {
+			sessionErr = fmt.Errorf("write: %w", err)
+		} else {
+			sessionErr = runSession(ctx, svc, os.Stdin, out, cfg)
+		}
 		if sessionErr != nil {
 			fmt.Fprintf(os.Stderr, "solversvc: %v\n", sessionErr)
 		}
@@ -210,16 +230,104 @@ func serveTCP(ctx context.Context, svc *service.Service, ln net.Listener, cfg co
 				delete(conns, conn)
 				mu.Unlock()
 			}()
-			out := bufio.NewWriter(conn)
-			fmt.Fprintln(out, banner)
-			out.Flush()
-			if err := runSession(ctx, svc, conn, out, cfg); err != nil {
-				fmt.Fprintf(os.Stderr, "solversvc: session %s: %v\n", conn.RemoteAddr(), err)
-			}
-			out.Flush()
+			serveConn(ctx, svc, conn, cfg)
 		}()
 	}
 	wg.Wait()
+}
+
+// serveConn runs one TCP connection: banner, then protocol selection.
+// A first line of "binary <maxver>" negotiates the binary protocol and
+// hands the connection to wire.Serve; anything else (including a first
+// command too long to be a hello) replays the consumed bytes into the
+// text session, so pre-binary clients see exactly the old behavior.
+func serveConn(ctx context.Context, svc *service.Service, conn net.Conn, cfg config) {
+	br := bufio.NewReader(conn)
+	out := bufio.NewWriter(&deadlineWriter{conn: conn, timeout: cfg.writeTimeout})
+	fmt.Fprintln(out, banner)
+	if err := out.Flush(); err != nil {
+		return
+	}
+	line, isHello, consumed := peekHello(br)
+	if isHello {
+		if maxVer, ok := wire.ParseHello(line); ok {
+			ver, _ := wire.Negotiate(maxVer) // ParseHello guarantees maxVer ≥ 1
+			fmt.Fprintln(out, wire.Accept(ver))
+			if err := out.Flush(); err != nil {
+				return
+			}
+			err := wire.Serve(ctx, svc, conn, br, wire.ServeOptions{
+				ReqTimeout:   cfg.reqTimeout,
+				WriteTimeout: cfg.writeTimeout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "solversvc: binary session %s: %v\n", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		// "binary <garbage>": not a negotiation we speak. Fall through to
+		// the text session, which answers with a text error — the same
+		// fallback signal a pre-binary server gives a newer client.
+	}
+	r := io.MultiReader(bytes.NewReader(consumed), br)
+	if err := runSession(ctx, svc, r, out, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "solversvc: session %s: %v\n", conn.RemoteAddr(), err)
+	}
+}
+
+// peekHello reads just enough of a session's first bytes to decide
+// whether the client is negotiating the binary protocol. It matches the
+// "binary " prefix byte-at-a-time — never reading past the first
+// divergence — so a short text first command ("refs\n") is replayed
+// immediately instead of blocking a prefix-sized read. On any read
+// error the bytes consumed so far are replayed and the error resurfaces
+// from the underlying reader.
+func peekHello(br *bufio.Reader) (line string, isHello bool, consumed []byte) {
+	const prefix = "binary "
+	for i := 0; i < len(prefix); i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", false, consumed
+		}
+		consumed = append(consumed, b)
+		if b != prefix[i] {
+			return "", false, consumed
+		}
+	}
+	// Prefix matched: a hello line is short, so anything long is a text
+	// command that merely starts with "binary " and gets replayed.
+	const maxHello = 64
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", false, consumed
+		}
+		consumed = append(consumed, b)
+		if b == '\n' {
+			return string(consumed[:len(consumed)-1]), true, consumed
+		}
+		if len(consumed) > maxHello {
+			return "", false, consumed
+		}
+	}
+}
+
+// deadlineWriter arms conn's write deadline before every chunk the
+// session writes: a peer that stops reading (half-closed socket, wedged
+// consumer) fails the next Flush with a timeout instead of parking the
+// session goroutine in a blocking write forever.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		if err := w.conn.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return w.conn.Write(p)
 }
 
 // scanMsg is one unit from the session reader: a line or a terminal error.
@@ -282,7 +390,12 @@ func runSession(ctx context.Context, svc *service.Service, r io.Reader, out *buf
 			return err
 		}
 		quit := handle(ctx, svc, out, strings.Fields(msg.line), cfg)
-		out.Flush()
+		if err := out.Flush(); err != nil {
+			// The peer stopped reading (closed its read side, or stalled past
+			// the write deadline): terminate instead of solving into a broken
+			// pipe command after command.
+			return fmt.Errorf("write: %w", err)
+		}
 		if quit {
 			return nil
 		}
@@ -314,12 +427,9 @@ func handle(ctx context.Context, svc *service.Service, out *bufio.Writer, fields
 	case "refs":
 		fmt.Fprintf(out, "refs=%d live-snapshots=%d\n", svc.Refs(), svc.LiveSnapshots())
 	case "stats":
-		st := svc.Stats()
-		fmt.Fprintf(out, "extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d captures=%d capture-ns=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f spills=%d spill-failures=%d reloads=%d cold-bytes=%d cold-shared-ratio=%.2f\n",
-			st.Extends, st.Evictions, st.Refs, st.Pinned, st.LiveSnapshots,
-			st.Captures, st.CaptureNs,
-			st.PrivateBytes, st.SharedBytes, st.SharedRatio(),
-			st.Spills, st.SpillFailures, st.Reloads, st.ColdBytes, st.ColdSharedRatio)
+		fmt.Fprintln(out, svc.Stats().Line())
+	case "binary":
+		fmt.Fprintln(out, "err: binary negotiation: expected `binary <maxver>` as the first line of a TCP session (-listen)")
 	case "release", "pin", "unpin", "touch":
 		id, ok := parseID()
 		if !ok {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/wire"
+	"repro/internal/solver"
 	"repro/internal/store"
 )
 
@@ -245,5 +248,199 @@ func TestStoreRestartRecoversSession(t *testing.T) {
 	out3 := session(t, bare, "touch 3\n")
 	if !strings.Contains(out3, "unknown") {
 		t.Errorf("storeless service answered a forgotten id: %q", out3)
+	}
+}
+
+// failingWriter accepts `allow` bytes and then fails every write — the
+// shape of a peer that closed its read side mid-session.
+type failingWriter struct {
+	allow int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.allow <= 0 {
+		return 0, errors.New("synthetic write failure")
+	}
+	n := len(p)
+	if n > w.allow {
+		n = w.allow
+	}
+	w.allow -= n
+	if n < len(p) {
+		return n, errors.New("synthetic write failure")
+	}
+	return n, nil
+}
+
+// TestSessionEndsOnWriteFailure is the regression for the ignored
+// out.Flush() errors: a session whose peer stopped reading used to keep
+// executing every remaining command into a dead writer. Now the first
+// failed flush terminates the session.
+func TestSessionEndsOnWriteFailure(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+
+	// 20 extends; the writer dies on the very first reply.
+	var in strings.Builder
+	for i := 0; i < 20; i++ {
+		in.WriteString("extend 0 1 0\n")
+	}
+	out := bufio.NewWriter(&failingWriter{allow: 0})
+	err := runSession(context.Background(), svc, strings.NewReader(in.String()), out, config{})
+	if err == nil || !strings.Contains(err.Error(), "write:") {
+		t.Fatalf("runSession after write failure: err=%v, want write error", err)
+	}
+	if n := svc.Stats().Extends; n != 1 {
+		t.Errorf("session executed %d extends into a dead writer; want 1 (the command whose reply failed)", n)
+	}
+}
+
+// TestStalledReaderWriteTimeout: with -write-timeout set, a reply to a
+// peer that never reads must fail with a deadline error instead of
+// parking the session goroutine in a blocking write forever. net.Pipe is
+// unbuffered, so the very first reply write blocks until the deadline.
+func TestStalledReaderWriteTimeout(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		out := bufio.NewWriter(&deadlineWriter{conn: server, timeout: 50 * time.Millisecond})
+		errc <- runSession(context.Background(), svc, server, out, config{writeTimeout: 50 * time.Millisecond})
+	}()
+	// Send one command, then stall: never read the reply.
+	if _, err := fmt.Fprintln(client, "refs"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("stalled reader: err=%v, want a net timeout", err)
+		}
+		if !strings.Contains(err.Error(), "write:") {
+			t.Errorf("stalled reader error not attributed to the write path: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session still blocked on a stalled reader after 5s; write deadline did not fire")
+	}
+}
+
+// TestBinaryNegotiationTCP covers the protocol upgrade end to end: a
+// binary client negotiates and runs a batched extend, a plain text client
+// coexists on the same server, and a malformed hello falls back to a
+// working text session (the reply to the hello is a text error line —
+// the same fallback signal a pre-binary server gives).
+func TestBinaryNegotiationTCP(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		serveTCP(ctx, svc, ln, config{reqTimeout: 10 * time.Second, writeTimeout: 5 * time.Second})
+		close(done)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	// Binary client: one batched extend, three sibling groups of parent 0.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := wire.Handshake(conn)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	defer cli.Close()
+	groups := [][][]int{
+		{{1, 2}},    // sat
+		{{-1}},      // sat
+		{{3}, {-3}}, // unsat
+	}
+	res, err := cli.Extend(context.Background(), 0, groups)
+	if err != nil {
+		t.Fatalf("batched extend: %v", err)
+	}
+	wantVerdicts := []solver.Status{solver.Sat, solver.Sat, solver.Unsat}
+	seen := map[uint64]bool{}
+	for i, r := range res {
+		if r.ID == 0 || seen[r.ID] {
+			t.Errorf("result %d: id %d zero or duplicated", i, r.ID)
+		}
+		seen[r.ID] = true
+		if r.Verdict != wantVerdicts[i] {
+			t.Errorf("result %d: verdict %v, want %v", i, r.Verdict, wantVerdicts[i])
+		}
+		if (r.Verdict == solver.Sat) != (r.Model != nil) {
+			t.Errorf("result %d: model presence inconsistent with verdict %v", i, r.Verdict)
+		}
+	}
+
+	// Text client coexists and sees the binary client's references.
+	tconn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tconn.Close()
+	tbr := bufio.NewReader(tconn)
+	if _, err := tbr.ReadString('\n'); err != nil { // banner
+		t.Fatal(err)
+	}
+	fmt.Fprintln(tconn, "refs")
+	line, err := tbr.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "refs=4") { // root + 3 batch siblings
+		t.Errorf("text client does not see binary client's references: %q", line)
+	}
+
+	// Malformed hello: answered with a text error, session stays text.
+	fconn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fconn.Close()
+	fbr := bufio.NewReader(fconn)
+	fmt.Fprintln(fconn, "binary nope")              // sent before reading the banner: fine, TCP buffers it
+	if _, err := fbr.ReadString('\n'); err != nil { // banner
+		t.Fatal(err)
+	}
+	line, err = fbr.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "err:") {
+		t.Fatalf("malformed hello not answered with a text error: %q", line)
+	}
+	fmt.Fprintln(fconn, "refs")
+	line, err = fbr.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "refs=") {
+		t.Errorf("text session unusable after fallback: %q", line)
+	}
+}
+
+// TestBinaryCommandMidSessionIsRefused: "binary" anywhere but a TCP
+// session's first line (here: a stdio session) gets an explanatory error.
+func TestBinaryCommandMidSessionIsRefused(t *testing.T) {
+	svc := service.New()
+	defer svc.Close()
+	got := session(t, svc, "binary 1\n")
+	if !strings.Contains(got, "err: binary negotiation") {
+		t.Errorf("stdio binary command: %q", got)
 	}
 }

@@ -1,5 +1,5 @@
 // Package bench implements the reproduction's experiment harness: one
-// function per experiment in DESIGN.md's index (E1–E15), each returning a
+// function per experiment in DESIGN.md's index (E1–E16), each returning a
 // rendered table with the same rows the paper's claims are judged against.
 // cmd/snapbench and the root benchmark suite both drive these.
 package bench
@@ -50,6 +50,7 @@ func All() []Experiment {
 		{13, "concurrent-service", "§3.2: concurrent clients branch one shared base; the sharded table keeps solves off-lock and the cap bounds parked state", E13},
 		{14, "persistent-store", "§3.2 scaled out: eviction becomes demotion to a content-addressed disk tier; spilled ids reload transparently, siblings dedup on disk, and a restarted server answers old ids", E14},
 		{15, "async-capture", "§1/§4: capture is an O(1) epoch bump — cost independent of resident set, mutators never stall, verdicts identical to the synchronous path", E15},
+		{16, "wire-pipelining", "§3.2 as a network service: pipelined framed requests with out-of-order completion beat request/reply throughput, with verdict streams identical to the serial ground truth", E16},
 	}
 }
 

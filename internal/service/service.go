@@ -153,6 +153,17 @@ type Stats struct {
 	ColdSharedRatio float64
 }
 
+// Line renders the counters as the one-line diagnostic form shared by
+// the text protocol's `stats` command and the binary protocol's stats
+// reply, so both surfaces stay field-for-field identical.
+func (st Stats) Line() string {
+	return fmt.Sprintf("extends=%d evictions=%d refs=%d pinned=%d live-snapshots=%d captures=%d capture-ns=%d private-bytes=%d shared-bytes=%d shared-ratio=%.2f spills=%d spill-failures=%d reloads=%d cold-bytes=%d cold-shared-ratio=%.2f",
+		st.Extends, st.Evictions, st.Refs, st.Pinned, st.LiveSnapshots,
+		st.Captures, st.CaptureNs,
+		st.PrivateBytes, st.SharedBytes, st.SharedRatio(),
+		st.Spills, st.SpillFailures, st.Reloads, st.ColdBytes, st.ColdSharedRatio)
+}
+
 // SharedRatio is the fraction of parked pages shared between snapshots.
 func (st Stats) SharedRatio() float64 {
 	total := st.PrivateBytes + st.SharedBytes

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// FuzzWireDecode pins the codec's safety contract on arbitrary bytes:
+// decoding never panics or over-allocates (counts are bounded against
+// the bytes actually present before any allocation is sized), and every
+// accepted payload is a canonical fixed point — re-encoding reproduces
+// the input bytes exactly, so there are no two encodings of one message.
+// The input is fuzzed as both a request and a response payload.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with encoder output so the fuzzer starts inside the accepted
+	// grammar and mutates outward from it.
+	seedReqs := []Request{
+		{Op: OpExtend, ReqID: 1, ID: 0, Groups: [][][]int{{{1, 2}}}},
+		{Op: OpExtend, ReqID: 2, ID: 9, Groups: [][][]int{{{1, -2}, {-1}}, {{3}}, {}}},
+		{Op: OpRelease, ReqID: 3, ID: 4},
+		{Op: OpPin, ReqID: 4, ID: 5},
+		{Op: OpUnpin, ReqID: 5, ID: 6},
+		{Op: OpTouch, ReqID: 6, ID: 7},
+		{Op: OpStats, ReqID: 7},
+	}
+	for _, req := range seedReqs {
+		frame, err := EncodeRequest(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	seedResps := []Response{
+		{Op: OpExtend, ReqID: 1, Results: []ExtendResult{
+			{ID: 1, Verdict: solver.Sat, Model: []bool{false, true, true}},
+			{ID: 2, Verdict: solver.Unsat},
+		}},
+		{Op: OpExtend, ReqID: 2, Results: []ExtendResult{
+			{ID: 3, Verdict: solver.Sat, Model: []bool{true, false, true, true, false, true, false, true, true}},
+		}},
+		{Op: OpRelease, ReqID: 3},
+		{Op: OpStats, ReqID: 4, Text: "extends=1 refs=2"},
+		{Op: OpTouch, ReqID: 5, Err: "service: unknown problem reference 9"},
+	}
+	for _, resp := range seedResps {
+		frame, err := EncodeResponse(resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := DecodeRequest(payload); err == nil {
+			frame, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("accepted request %+v does not re-encode: %v", req, err)
+			}
+			if !bytes.Equal(frame[4:], payload) {
+				t.Fatalf("request not canonical:\n in  %x\n out %x", payload, frame[4:])
+			}
+			// Trailing bytes after a valid message must be rejected.
+			if _, err := DecodeRequest(append(append([]byte{}, payload...), 0)); err == nil {
+				t.Fatal("request with trailing byte accepted")
+			}
+		}
+		if resp, err := DecodeResponse(payload); err == nil {
+			frame, err := EncodeResponse(resp)
+			if err != nil {
+				t.Fatalf("accepted response %+v does not re-encode: %v", resp, err)
+			}
+			if !bytes.Equal(frame[4:], payload) {
+				t.Fatalf("response not canonical:\n in  %x\n out %x", payload, frame[4:])
+			}
+			if _, err := DecodeResponse(append(append([]byte{}, payload...), 0)); err == nil {
+				t.Fatal("response with trailing byte accepted")
+			}
+		}
+	})
+}

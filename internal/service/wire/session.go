@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// DefaultMaxInflight caps a connection's concurrently executing
+// requests when ServeOptions.MaxInflight is zero. Reads stall once the
+// window is full, so a client pipelining deeper sees backpressure, not
+// unbounded server goroutines.
+const DefaultMaxInflight = 64
+
+// ServeOptions tunes one binary session.
+type ServeOptions struct {
+	// ReqTimeout bounds each extend's solve (0 = none), matching
+	// solversvc's -req-timeout.
+	ReqTimeout time.Duration
+	// WriteTimeout arms a write deadline before every reply frame when
+	// the transport supports deadlines (net.Conn does): a peer that
+	// stops reading fails the session instead of parking its writer
+	// goroutine forever. 0 disables.
+	WriteTimeout time.Duration
+	// MaxInflight caps concurrently executing requests (0 = DefaultMaxInflight).
+	MaxInflight int
+}
+
+// writeDeadliner is the slice of net.Conn the reply writer needs;
+// transports without deadlines (pipes to a subprocess) still work, they
+// just cannot be protected from a stalled reader.
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// Serve speaks one already-negotiated binary session over rw until the
+// peer closes, a protocol violation, a write failure, or ctx
+// cancellation. Reads come from br when non-nil (negotiation may have
+// buffered bytes past the accept line); otherwise rw is read directly.
+//
+// Requests execute concurrently up to the in-flight cap and complete
+// out of order; a per-connection writer goroutine serializes reply
+// frames, so replies interleave at frame granularity only. A write or
+// flush failure — a half-closed or stalled peer — cancels the session
+// context, which aborts in-flight solves instead of leaving the session
+// solving into a broken pipe.
+//
+// The returned error is nil for a clean EOF or cancellation.
+func Serve(ctx context.Context, svc *service.Service, rw io.ReadWriter, br io.Reader, opts ServeOptions) error {
+	if br == nil {
+		br = bufio.NewReader(rw)
+	}
+	maxInflight := opts.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Unblock a reader parked in ReadFrame when the session dies from the
+	// write side (stalled peer past WriteTimeout): cancellation alone
+	// cannot interrupt a blocking Read, so arm an already-expired read
+	// deadline. The deferred cancel fires this on every exit path; by
+	// then the session is over, so poisoning future reads is fine.
+	if rd, ok := rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		go func() {
+			<-sctx.Done()
+			rd.SetReadDeadline(time.Now())
+		}()
+	}
+
+	// Reply writer: the only goroutine touching rw's write side. After a
+	// write failure it keeps draining the channel (so no handler blocks)
+	// but stops writing, and the cancelled session context unwinds the
+	// reader and every in-flight solve.
+	replies := make(chan []byte, maxInflight)
+	writerDone := make(chan struct{})
+	var writeErr error
+	go func() {
+		defer close(writerDone)
+		ds, hasDeadline := rw.(writeDeadliner)
+		for frame := range replies {
+			if writeErr != nil {
+				continue
+			}
+			if opts.WriteTimeout > 0 && hasDeadline {
+				if err := ds.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)); err != nil {
+					writeErr = fmt.Errorf("wire: arming write deadline: %w", err)
+					cancel()
+					continue
+				}
+			}
+			if _, err := rw.Write(frame); err != nil {
+				writeErr = fmt.Errorf("wire: write: %w", err)
+				cancel()
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, maxInflight)
+	var handlers sync.WaitGroup
+	var readErr error
+reading:
+	for sctx.Err() == nil {
+		frame, err := ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && sctx.Err() == nil {
+				readErr = fmt.Errorf("wire: read: %w", err)
+			}
+			break
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			// A malformed frame means the stream can no longer be framed;
+			// terminating beats resynchronising heuristically.
+			readErr = err
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-sctx.Done():
+			break reading
+		}
+		handlers.Add(1)
+		go func(req Request) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			frame, err := EncodeResponse(Dispatch(sctx, svc, req, opts.ReqTimeout))
+			if err != nil {
+				// Reply too large to frame (a batch of huge models): the
+				// request still gets an answer, just an error one.
+				frame, err = EncodeResponse(Response{Op: req.Op, ReqID: req.ReqID, Err: "server: " + err.Error()})
+				if err != nil {
+					return
+				}
+			}
+			// Never blocks forever: the writer drains until the channel
+			// closes, which happens only after every handler returns.
+			replies <- frame
+		}(req)
+	}
+	handlers.Wait()
+	close(replies)
+	<-writerDone
+	if writeErr != nil {
+		return writeErr
+	}
+	return readErr
+}
+
+// Dispatch executes one decoded request against svc and builds its
+// reply. It is the seam shared by solversvc's binary sessions and the
+// in-process servers the load harness and E16 spin up, so every path
+// serves identical semantics.
+//
+// An extend batch is atomic: group i extends req.ID (all groups are
+// siblings of one parent); on the first failure the siblings already
+// parked are released and the whole batch reports the error.
+func Dispatch(ctx context.Context, svc *service.Service, req Request, reqTimeout time.Duration) Response {
+	resp := Response{Op: req.Op, ReqID: req.ReqID}
+	switch req.Op {
+	case OpExtend:
+		results := make([]ExtendResult, 0, len(req.Groups))
+		for gi, g := range req.Groups {
+			rctx, rcancel := ctx, context.CancelFunc(func() {})
+			if reqTimeout > 0 {
+				rctx, rcancel = context.WithTimeout(ctx, reqTimeout)
+			}
+			res, err := svc.Extend(rctx, req.ID, g)
+			rcancel()
+			if err != nil {
+				for _, r := range results {
+					// Best-effort rollback keeps the batch atomic; a
+					// failure here (say, closing mid-batch) leaves an
+					// unreferenced sibling for Close to reap.
+					_ = svc.Release(r.ID)
+				}
+				resp.Err = fmt.Sprintf("group %d: %v", gi, err)
+				return resp
+			}
+			results = append(results, ExtendResult{ID: res.ID, Verdict: res.Verdict, Model: res.Model})
+		}
+		resp.Results = results
+	case OpRelease:
+		if err := svc.Release(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case OpPin:
+		if err := svc.Pin(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case OpUnpin:
+		if err := svc.Unpin(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case OpTouch:
+		if err := svc.Touch(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case OpStats:
+		resp.Text = svc.Stats().Line()
+	default:
+		resp.Err = fmt.Sprintf("unknown op %d", req.Op)
+	}
+	return resp
+}
